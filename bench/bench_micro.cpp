@@ -1,0 +1,110 @@
+// Micro-benchmarks of the hot kernels (google-benchmark): SpMV, quadratic
+// form, CSR construction, spanner, one PARALLELSAMPLE round, CG iteration.
+// These complement the experiment tables with stable ns/op numbers for
+// regression tracking.
+#include <benchmark/benchmark.h>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/laplacian.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "sparsify/sample.hpp"
+#include "support/rng.hpp"
+
+using namespace spar;
+
+namespace {
+
+graph::Graph bench_graph(std::int64_t n) {
+  const double p = std::min(1.0, 16.0 / static_cast<double>(n));
+  return graph::connected_erdos_renyi(static_cast<graph::Vertex>(n), p, 42);
+}
+
+void BM_CsrBuild(benchmark::State& state) {
+  const graph::Graph g = bench_graph(state.range(0));
+  for (auto _ : state) {
+    graph::CSRGraph csr(g);
+    benchmark::DoNotOptimize(csr.num_arcs());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_CsrBuild)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_SpMV(benchmark::State& state) {
+  const graph::Graph g = bench_graph(state.range(0));
+  const linalg::CSRMatrix lap = linalg::laplacian_matrix(g);
+  support::Rng rng(3);
+  linalg::Vector x(g.num_vertices()), y(g.num_vertices());
+  for (double& v : x) v = rng.normal();
+  for (auto _ : state) {
+    lap.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(lap.nnz()));
+}
+BENCHMARK(BM_SpMV)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_QuadraticForm(benchmark::State& state) {
+  const graph::Graph g = bench_graph(state.range(0));
+  support::Rng rng(5);
+  linalg::Vector x(g.num_vertices());
+  for (double& v : x) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::laplacian_quadratic_form(g, x));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_QuadraticForm)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_Spanner(benchmark::State& state) {
+  const graph::Graph g = bench_graph(state.range(0));
+  const graph::CSRGraph csr(g);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto ids = spanner::baswana_sen_spanner(csr, nullptr, {.k = 0, .seed = seed++});
+    benchmark::DoNotOptimize(ids.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_Spanner)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_ParallelSampleRound(benchmark::State& state) {
+  const graph::Graph g = bench_graph(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sparsify::SampleOptions opt;
+    opt.t = 1;
+    opt.seed = seed++;
+    auto result = sparsify::parallel_sample(g, opt);
+    benchmark::DoNotOptimize(result.sparsifier.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_ParallelSampleRound)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_CgSolveGrid(benchmark::State& state) {
+  const auto side = static_cast<graph::Vertex>(state.range(0));
+  const graph::Graph g = graph::grid2d(side, side);
+  const linalg::LaplacianOperator lap(g);
+  const linalg::LinearOperator op{
+      g.num_vertices(),
+      [&lap](std::span<const double> in, std::span<double> out) { lap.apply(in, out); }};
+  support::Rng rng(7);
+  linalg::Vector b(g.num_vertices());
+  for (double& v : b) v = rng.normal();
+  linalg::remove_mean(b);
+  for (auto _ : state) {
+    linalg::Vector x(g.num_vertices(), 0.0);
+    linalg::CGOptions opt;
+    opt.project_constant = true;
+    opt.tolerance = 1e-6;
+    auto report = linalg::conjugate_gradient(op, b, x, opt);
+    benchmark::DoNotOptimize(report.iterations);
+  }
+}
+BENCHMARK(BM_CgSolveGrid)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// E1 (Theorem 1): Baswana-Sen spanner -- size O(n log n), work O(m log n),
+// stretch <= 2 log n.
+//
+// Rows: one per (family, n). Columns report measured size / (n log2 n) and
+// work / (m log2 n) (flat columns confirm the shape), the max measured
+// stretch next to the 2k-1 bound, and wall time.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "graph/csr.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/stretch.hpp"
+#include "support/stats.hpp"
+#include "support/work_counter.hpp"
+
+using namespace spar;
+
+int main(int argc, char** argv) {
+  const support::Options opt(argc, argv);
+  const bool quick = opt.get_bool("quick", false);
+  const std::uint64_t seed = opt.get_int("seed", 7);
+
+  std::vector<graph::Vertex> sizes = {256, 512, 1024, 2048, 4096};
+  if (quick) sizes = {256, 512, 1024};
+  const std::vector<std::string> families = {"er", "er-dense", "grid", "pa"};
+
+  support::Table table({"family", "n", "m", "|H|", "|H|/(n lg n)", "work/(m lg n)",
+                        "max_stretch", "bound 2k-1", "ms"});
+  std::vector<double> ns, sizes_measured;
+
+  for (const auto& family : families) {
+    for (const graph::Vertex n : sizes) {
+      const graph::Graph g = bench::make_family(family, n, seed);
+      const graph::CSRGraph csr(g);
+      support::WorkCounter work;
+      support::Timer timer;
+      const auto ids = spanner::baswana_sen_spanner(
+          csr, nullptr, {.k = 0, .seed = seed, .work = &work});
+      const double ms = timer.millis();
+
+      const std::size_t k = spanner::auto_spanner_k(g.num_vertices());
+      double max_stretch = 0.0;
+      if (g.num_vertices() <= 1100) {  // exact verification is quadratic
+        std::vector<bool> mask(g.num_edges(), false);
+        for (auto id : ids) mask[id] = true;
+        max_stretch = spanner::stretch_over_subgraph(g, mask).max_stretch;
+      }
+
+      const double lg = bench::log2n(n);
+      table.add_row({family, std::to_string(n), std::to_string(g.num_edges()),
+                     std::to_string(ids.size()),
+                     support::Table::cell(double(ids.size()) / (n * lg)),
+                     support::Table::cell(double(work.total()) /
+                                          (double(g.num_edges()) * lg)),
+                     max_stretch > 0 ? support::Table::cell(max_stretch) : "-",
+                     std::to_string(2 * k - 1), support::Table::cell(ms)});
+      if (family == "er") {
+        ns.push_back(double(n));
+        sizes_measured.push_back(double(ids.size()));
+      }
+    }
+  }
+  table.print("E1 / Theorem 1: Baswana-Sen spanner size, work, stretch");
+
+  const auto fit = support::fit_power_law(ns, sizes_measured);
+  std::printf("\nER-family size scaling: |H| ~ n^%.3f (R^2=%.4f); "
+              "theory predicts ~n^1 (times log n)\n",
+              fit.exponent, fit.r_squared);
+  return 0;
+}

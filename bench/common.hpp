@@ -1,0 +1,62 @@
+// Shared helpers for the experiment harness (bench_* binaries).
+//
+// Every binary regenerates one experiment row-set from DESIGN.md's index
+// (E1..E9) and prints it through support::Table so runs are diffable. The
+// paper has no numeric tables (it is a theory paper); the "tables" here are
+// its claims instantiated: sizes, stretches, leverage bounds, rounds, words,
+// work and solve costs, each next to the theory prediction.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "sparsify/spectral_cert.hpp"
+#include "support/error.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace spar::bench {
+
+inline double log2n(std::size_t n) { return std::log2(std::max<double>(n, 2.0)); }
+
+/// Spectral certification that picks the exact dense path for small n and
+/// the CG/power-iteration path for larger n.
+inline sparsify::ApproxBounds certify(const graph::Graph& g, const graph::Graph& h,
+                                      std::uint64_t seed = 123) {
+  if (g.num_vertices() <= 700) return sparsify::exact_relative_bounds(g, h);
+  sparsify::CertOptions opt;
+  opt.seed = seed;
+  return sparsify::approx_relative_bounds(g, h, opt);
+}
+
+/// Named workload families used across experiments.
+inline graph::Graph make_family(const std::string& name, graph::Vertex n,
+                                std::uint64_t seed) {
+  if (name == "complete") return graph::complete_graph(n);
+  if (name == "er") {
+    // Average degree ~16 regardless of n.
+    const double p = std::min(1.0, 16.0 / static_cast<double>(n));
+    return graph::connected_erdos_renyi(n, p, seed);
+  }
+  if (name == "er-dense") {
+    const double p = std::min(1.0, 64.0 / static_cast<double>(n));
+    return graph::connected_erdos_renyi(n, p, seed);
+  }
+  if (name == "grid") {
+    const auto side = static_cast<graph::Vertex>(std::sqrt(double(n)));
+    return graph::grid2d(side, side);
+  }
+  if (name == "pa") return graph::preferential_attachment(n, 4, seed);
+  if (name == "dumbbell") return graph::dumbbell(n / 2, 0.01, seed);
+  if (name == "ws") return graph::watts_strogatz(n, 4, 0.1, seed);
+  if (name == "weighted-er") {
+    const double p = std::min(1.0, 16.0 / static_cast<double>(n));
+    return graph::randomize_weights(graph::connected_erdos_renyi(n, p, seed), 2.0,
+                                    seed + 1);
+  }
+  throw spar::Error("unknown graph family: " + name);
+}
+
+}  // namespace spar::bench

@@ -1,0 +1,41 @@
+// Compressed sparse row adjacency view of a Graph. Construction is
+// OpenMP-parallel (counting sort over endpoints). Each arc remembers the
+// originating EdgeId so algorithms can mark edges (bundle membership, alive
+// masks) on the parent edge list.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace spar::graph {
+
+struct Arc {
+  Vertex to = 0;
+  double w = 0.0;
+  EdgeId id = kInvalidEdge;
+};
+
+class CSRGraph {
+ public:
+  CSRGraph() = default;
+  explicit CSRGraph(const Graph& g);
+
+  Vertex num_vertices() const { return static_cast<Vertex>(offsets_.size() - 1); }
+  std::size_t num_arcs() const { return arcs_.size(); }  ///< = 2 * num_edges
+
+  std::span<const Arc> neighbors(Vertex v) const {
+    return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
+  }
+
+  std::size_t degree(Vertex v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  std::size_t max_degree() const;
+
+ private:
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace spar::graph

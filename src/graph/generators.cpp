@@ -1,0 +1,250 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace spar::graph {
+
+using support::Rng;
+
+Graph path_graph(Vertex n, double w) {
+  Graph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, w);
+  return g;
+}
+
+Graph cycle_graph(Vertex n, double w) {
+  SPAR_CHECK(n >= 3, "cycle_graph: need n >= 3");
+  Graph g = path_graph(n, w);
+  g.add_edge(n - 1, 0, w);
+  return g;
+}
+
+Graph star_graph(Vertex n, double w) {
+  SPAR_CHECK(n >= 1, "star_graph: need n >= 1");
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) g.add_edge(0, v, w);
+  return g;
+}
+
+Graph complete_graph(Vertex n, double w) {
+  Graph g(n);
+  g.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v, w);
+  return g;
+}
+
+Graph complete_bipartite(Vertex a, Vertex b, double w) {
+  Graph g(a + b);
+  for (Vertex u = 0; u < a; ++u)
+    for (Vertex v = 0; v < b; ++v) g.add_edge(u, a + v, w);
+  return g;
+}
+
+Graph binary_tree(Vertex n, double w) {
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) g.add_edge(v, (v - 1) / 2, w);
+  return g;
+}
+
+Graph grid2d(Vertex rows, Vertex cols, double w) {
+  Graph g(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1), w);
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), w);
+    }
+  }
+  return g;
+}
+
+Graph grid3d(Vertex nx, Vertex ny, Vertex nz, double w) {
+  Graph g(nx * ny * nz);
+  auto id = [ny, nz](Vertex x, Vertex y, Vertex z) { return (x * ny + y) * nz + z; };
+  for (Vertex x = 0; x < nx; ++x)
+    for (Vertex y = 0; y < ny; ++y)
+      for (Vertex z = 0; z < nz; ++z) {
+        if (x + 1 < nx) g.add_edge(id(x, y, z), id(x + 1, y, z), w);
+        if (y + 1 < ny) g.add_edge(id(x, y, z), id(x, y + 1, z), w);
+        if (z + 1 < nz) g.add_edge(id(x, y, z), id(x, y, z + 1), w);
+      }
+  return g;
+}
+
+Graph erdos_renyi(Vertex n, double p, std::uint64_t seed) {
+  SPAR_CHECK(p >= 0.0 && p <= 1.0, "erdos_renyi: p out of range");
+  Graph g(n);
+  Rng rng(seed);
+  if (p <= 0.0 || n < 2) return g;
+  // Geometric skipping: O(m) expected time instead of O(n^2).
+  const double log_q = std::log1p(-p);
+  if (p >= 1.0) return complete_graph(n);
+  std::int64_t total = static_cast<std::int64_t>(n) * (n - 1) / 2;
+  std::int64_t idx = -1;
+  for (;;) {
+    double u = rng.uniform();
+    while (u <= 0.0) u = rng.uniform();
+    idx += 1 + static_cast<std::int64_t>(std::floor(std::log(u) / log_q));
+    if (idx >= total) break;
+    // Map linear index to (u, v), u < v.
+    const auto row = static_cast<Vertex>(
+        (std::sqrt(8.0 * static_cast<double>(idx) + 1.0) + 1.0) / 2.0);
+    Vertex r = row;
+    while (static_cast<std::int64_t>(r) * (r - 1) / 2 > idx) --r;
+    while (static_cast<std::int64_t>(r + 1) * r / 2 <= idx) ++r;
+    const auto col = static_cast<Vertex>(idx - static_cast<std::int64_t>(r) * (r - 1) / 2);
+    g.add_edge(r, col, 1.0);
+  }
+  return g;
+}
+
+Graph connected_erdos_renyi(Vertex n, double p, std::uint64_t seed) {
+  Graph g = erdos_renyi(n, p, seed);
+  // Random-permutation Hamiltonian path backbone guarantees connectivity.
+  std::vector<Vertex> perm(n);
+  std::iota(perm.begin(), perm.end(), Vertex{0});
+  Rng rng(support::mix64(seed, 0xbacbacULL));
+  for (Vertex i = n; i > 1; --i) {
+    const auto j = static_cast<Vertex>(rng.below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  Graph out(n);
+  out.reserve(g.num_edges() + n);
+  for (const Edge& e : g.edges()) out.add_edge(e.u, e.v, e.w);
+  for (Vertex i = 0; i + 1 < n; ++i) out.add_edge(perm[i], perm[i + 1], 1.0);
+  return out.coalesced();
+}
+
+Graph random_regular(Vertex n, Vertex d, std::uint64_t seed) {
+  SPAR_CHECK(static_cast<std::uint64_t>(n) * d % 2 == 0, "random_regular: n*d must be even");
+  Rng rng(seed);
+  std::vector<Vertex> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * d);
+  for (Vertex v = 0; v < n; ++v)
+    for (Vertex i = 0; i < d; ++i) stubs.push_back(v);
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.below(i));
+    std::swap(stubs[i - 1], stubs[j]);
+  }
+  std::set<std::pair<Vertex, Vertex>> seen;
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    Vertex u = stubs[i];
+    Vertex v = stubs[i + 1];
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert({u, v}).second) continue;
+    g.add_edge(u, v, 1.0);
+  }
+  return g;
+}
+
+Graph preferential_attachment(Vertex n, Vertex k, std::uint64_t seed) {
+  SPAR_CHECK(n > k && k >= 1, "preferential_attachment: need n > k >= 1");
+  Rng rng(seed);
+  Graph g(n);
+  // Target list doubles as the degree-proportional sampling urn.
+  std::vector<Vertex> urn;
+  // Seed clique on k+1 vertices.
+  for (Vertex u = 0; u <= k; ++u)
+    for (Vertex v = u + 1; v <= k; ++v) {
+      g.add_edge(u, v, 1.0);
+      urn.push_back(u);
+      urn.push_back(v);
+    }
+  for (Vertex v = k + 1; v < n; ++v) {
+    std::set<Vertex> targets;
+    while (targets.size() < k) {
+      const Vertex t = urn[static_cast<std::size_t>(rng.below(urn.size()))];
+      if (t != v) targets.insert(t);
+    }
+    for (Vertex t : targets) {
+      g.add_edge(v, t, 1.0);
+      urn.push_back(v);
+      urn.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph watts_strogatz(Vertex n, Vertex k, double beta, std::uint64_t seed) {
+  SPAR_CHECK(n > 2 * k && k >= 1, "watts_strogatz: need n > 2k");
+  Rng rng(seed);
+  std::set<std::pair<Vertex, Vertex>> edges;
+  auto norm = [](Vertex a, Vertex b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  };
+  for (Vertex v = 0; v < n; ++v)
+    for (Vertex j = 1; j <= k; ++j) edges.insert(norm(v, (v + j) % n));
+  // Rewire.
+  std::vector<std::pair<Vertex, Vertex>> all(edges.begin(), edges.end());
+  for (const auto& [u, v] : all) {
+    if (!rng.bernoulli(beta)) continue;
+    edges.erase(norm(u, v));
+    for (int tries = 0; tries < 64; ++tries) {
+      const auto t = static_cast<Vertex>(rng.below(n));
+      if (t == u || edges.count(norm(u, t)) > 0) continue;
+      edges.insert(norm(u, t));
+      break;
+    }
+  }
+  Graph g(n);
+  for (const auto& [u, v] : edges) g.add_edge(u, v, 1.0);
+  return g;
+}
+
+Graph dumbbell(Vertex half, double bridge_w, std::uint64_t seed) {
+  (void)seed;
+  SPAR_CHECK(half >= 2, "dumbbell: need half >= 2");
+  Graph g(2 * half);
+  for (Vertex u = 0; u < half; ++u)
+    for (Vertex v = u + 1; v < half; ++v) {
+      g.add_edge(u, v, 1.0);
+      g.add_edge(half + u, half + v, 1.0);
+    }
+  g.add_edge(0, half, bridge_w);
+  return g;
+}
+
+Graph barbell(Vertex half, Vertex path_len, double w) {
+  SPAR_CHECK(half >= 2 && path_len >= 1, "barbell: bad sizes");
+  const Vertex n = 2 * half + (path_len - 1);
+  Graph g(n);
+  for (Vertex u = 0; u < half; ++u)
+    for (Vertex v = u + 1; v < half; ++v) {
+      g.add_edge(u, v, w);
+      g.add_edge(half + path_len - 1 + u, half + path_len - 1 + v, w);
+    }
+  // Path from vertex 0 of clique A to vertex 0 of clique B through
+  // path_len - 1 intermediate vertices.
+  Vertex prev = 0;
+  for (Vertex i = 0; i + 1 < path_len; ++i) {
+    const Vertex mid = half + i;
+    g.add_edge(prev, mid, w);
+    prev = mid;
+  }
+  g.add_edge(prev, half + path_len - 1, w);
+  return g;
+}
+
+Graph randomize_weights(const Graph& g, double log_range, std::uint64_t seed) {
+  SPAR_CHECK(log_range >= 0.0, "randomize_weights: log_range must be >= 0");
+  Graph out(g.num_vertices());
+  out.reserve(g.num_edges());
+  const auto edges = g.edges();
+  for (EdgeId id = 0; id < edges.size(); ++id) {
+    const double u = support::stream_uniform(seed, id);
+    const double w = std::exp((2.0 * u - 1.0) * log_range);
+    out.add_edge(edges[id].u, edges[id].v, edges[id].w * w);
+  }
+  return out;
+}
+
+}  // namespace spar::graph

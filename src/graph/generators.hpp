@@ -1,0 +1,64 @@
+// Synthetic workload generators.
+//
+// These cover the graph families that stress spectral sparsifiers in
+// qualitatively different ways:
+//  * grids (Remark 1: image-affinity graphs; high diameter, low expansion)
+//  * Erdos-Renyi / random regular (expanders: uniform sampling is already OK)
+//  * dumbbell (two dense blobs joined by one bridge: uniform sampling fails,
+//    the spanner bundle must certify and keep the bridge)
+//  * preferential attachment / Watts-Strogatz (skewed degrees, local+long
+//    range mixtures)
+//  * complete graphs (densest case; sparsifier size is all that matters)
+//
+// Every generator takes an explicit seed; weights default to 1 and can be
+// randomized with randomize_weights().
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace spar::graph {
+
+Graph path_graph(Vertex n, double w = 1.0);
+Graph cycle_graph(Vertex n, double w = 1.0);
+Graph star_graph(Vertex n, double w = 1.0);
+Graph complete_graph(Vertex n, double w = 1.0);
+Graph complete_bipartite(Vertex a, Vertex b, double w = 1.0);
+Graph binary_tree(Vertex n, double w = 1.0);
+
+/// rows x cols 4-neighbour grid.
+Graph grid2d(Vertex rows, Vertex cols, double w = 1.0);
+/// nx x ny x nz 6-neighbour grid.
+Graph grid3d(Vertex nx, Vertex ny, Vertex nz, double w = 1.0);
+
+/// G(n, p); expected m = p * n(n-1)/2. Connectivity is not enforced.
+Graph erdos_renyi(Vertex n, double p, std::uint64_t seed);
+
+/// G(n, p) conditioned on connectivity: a uniformly random spanning-tree-ish
+/// backbone (random permutation path) is added first.
+Graph connected_erdos_renyi(Vertex n, double p, std::uint64_t seed);
+
+/// Random d-regular-ish multigraph via permutation pairing; parallel edges
+/// and self-pairings are dropped, so degrees are <= d but concentrate at d.
+Graph random_regular(Vertex n, Vertex d, std::uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: each new vertex attaches k edges.
+Graph preferential_attachment(Vertex n, Vertex k, std::uint64_t seed);
+
+/// Watts-Strogatz small world: ring lattice with 2k neighbours, each edge
+/// rewired with probability beta.
+Graph watts_strogatz(Vertex n, Vertex k, double beta, std::uint64_t seed);
+
+/// Two complete graphs of size half, joined by a single bridge edge of weight
+/// bridge_w. The canonical uniform-sampling failure case.
+Graph dumbbell(Vertex half, double bridge_w = 1.0, std::uint64_t seed = 0);
+
+/// Two complete graphs joined by a path of `path_len` edges.
+Graph barbell(Vertex half, Vertex path_len, double w = 1.0);
+
+/// Replace every weight with exp(U[-log_range, log_range]) (log-uniform),
+/// deterministically per edge index. range must be >= 1.
+Graph randomize_weights(const Graph& g, double log_range, std::uint64_t seed);
+
+}  // namespace spar::graph

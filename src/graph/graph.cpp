@@ -1,0 +1,90 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "support/assert.hpp"
+
+namespace spar::graph {
+
+Graph::Graph(Vertex num_vertices, std::vector<Edge> edges)
+    : n_(num_vertices), edges_(std::move(edges)) {
+  for (const Edge& e : edges_) {
+    SPAR_CHECK(e.u < n_ && e.v < n_, "Graph: edge endpoint out of range");
+    SPAR_CHECK(e.u != e.v, "Graph: self-loop not allowed");
+    SPAR_CHECK(e.w > 0.0, "Graph: edge weight must be positive");
+  }
+}
+
+EdgeId Graph::add_edge(Vertex u, Vertex v, double w) {
+  SPAR_CHECK(u < n_ && v < n_, "add_edge: endpoint out of range");
+  SPAR_CHECK(u != v, "add_edge: self-loop not allowed");
+  SPAR_CHECK(w > 0.0, "add_edge: weight must be positive");
+  edges_.push_back({u, v, w});
+  return edges_.size() - 1;
+}
+
+double Graph::total_weight() const {
+  double sum = 0.0;
+  for (const Edge& e : edges_) sum += e.w;
+  return sum;
+}
+
+Graph Graph::coalesced() const {
+  std::vector<Edge> sorted(edges_.begin(), edges_.end());
+  for (Edge& e : sorted)
+    if (e.u > e.v) std::swap(e.u, e.v);
+  std::sort(sorted.begin(), sorted.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+  });
+  Graph out(n_);
+  out.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size();) {
+    double w = 0.0;
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j].u == sorted[i].u && sorted[j].v == sorted[i].v) {
+      w += sorted[j].w;
+      ++j;
+    }
+    out.add_edge(sorted[i].u, sorted[i].v, w);
+    i = j;
+  }
+  return out;
+}
+
+Graph Graph::filtered(const std::vector<bool>& keep) const {
+  SPAR_CHECK(keep.size() == edges_.size(), "filtered: mask size mismatch");
+  Graph out(n_);
+  for (EdgeId id = 0; id < edges_.size(); ++id)
+    if (keep[id]) out.edges_.push_back(edges_[id]);
+  return out;
+}
+
+Graph Graph::scaled(double a) const {
+  SPAR_CHECK(a > 0.0, "scaled: factor must be positive");
+  Graph out = *this;
+  for (Edge& e : out.edges_) e.w *= a;
+  return out;
+}
+
+Graph operator+(const Graph& a, const Graph& b) {
+  SPAR_CHECK(a.n_ == b.n_, "operator+: vertex count mismatch");
+  Graph out = a;
+  out.edges_.insert(out.edges_.end(), b.edges_.begin(), b.edges_.end());
+  return out;
+}
+
+bool Graph::same_edges(const Graph& other) const {
+  if (n_ != other.n_ || edges_.size() != other.edges_.size()) return false;
+  auto norm = [](std::vector<Edge> es) {
+    for (Edge& e : es)
+      if (e.u > e.v) std::swap(e.u, e.v);
+    std::sort(es.begin(), es.end(), [](const Edge& a, const Edge& b) {
+      return std::tie(a.u, a.v, a.w) < std::tie(b.u, b.v, b.w);
+    });
+    return es;
+  };
+  return norm(edges_) == norm(other.edges_);
+}
+
+}  // namespace spar::graph

@@ -1,0 +1,60 @@
+// Undirected weighted multigraph on a fixed vertex set, stored as an edge
+// list. This is the value type that flows through the sparsification pipeline:
+// graph algebra (G1 + G2, a*G, Laplacian ordering helpers) is defined here
+// exactly as in Section 2 of the paper.
+//
+// Parallel edges are allowed (bundle components are edge-disjoint subgraphs of
+// the same graph, and sums of graphs naturally create them); coalesce() merges
+// them by summing weights, which leaves the Laplacian unchanged.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace spar::graph {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(Vertex num_vertices) : n_(num_vertices) {}
+  Graph(Vertex num_vertices, std::vector<Edge> edges);
+
+  Vertex num_vertices() const { return n_; }
+  std::size_t num_edges() const { return edges_.size(); }
+  std::span<const Edge> edges() const { return edges_; }
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+
+  /// Appends an undirected edge {u, v} with weight w > 0. Self-loops are
+  /// rejected (they contribute nothing to a Laplacian quadratic form).
+  EdgeId add_edge(Vertex u, Vertex v, double w = 1.0);
+
+  void reserve(std::size_t num_edges) { edges_.reserve(num_edges); }
+
+  /// Sum of edge weights.
+  double total_weight() const;
+
+  /// Merge parallel edges (same endpoint pair) by summing their weights.
+  /// The Laplacian is invariant under this operation.
+  Graph coalesced() const;
+
+  /// Graph with the subset of edges for which keep[id] is true.
+  Graph filtered(const std::vector<bool>& keep) const;
+
+  /// Graph with every weight multiplied by a > 0 (paper: aG).
+  Graph scaled(double a) const;
+
+  /// Disjoint-union of edge lists over the same vertex set (paper: G1 + G2).
+  friend Graph operator+(const Graph& a, const Graph& b);
+
+  /// Sum of squared differences free equality: same n, same edge multiset up
+  /// to order. Intended for tests.
+  bool same_edges(const Graph& other) const;
+
+ private:
+  Vertex n_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace spar::graph

@@ -1,0 +1,95 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace spar::graph {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) out << e.u << ' ' << e.v << ' ' << e.w << '\n';
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  auto next_content_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+  SPAR_CHECK(next_content_line(), "read_edge_list: empty input");
+  std::istringstream header(line);
+  std::size_t n = 0, m = 0;
+  SPAR_CHECK(static_cast<bool>(header >> n >> m), "read_edge_list: bad header");
+  Graph g(static_cast<Vertex>(n));
+  g.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    SPAR_CHECK(next_content_line(), "read_edge_list: truncated edge list");
+    std::istringstream row(line);
+    Vertex u = 0, v = 0;
+    double w = 1.0;
+    SPAR_CHECK(static_cast<bool>(row >> u >> v), "read_edge_list: bad edge row");
+    row >> w;
+    g.add_edge(u, v, w);
+  }
+  return g;
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  SPAR_CHECK(out.good(), "save_edge_list: cannot open " + path);
+  write_edge_list(out, g);
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  SPAR_CHECK(in.good(), "load_edge_list: cannot open " + path);
+  return read_edge_list(in);
+}
+
+void write_matrix_market(std::ostream& out, const Graph& g) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "%%MatrixMarket matrix coordinate real symmetric\n";
+  out << "% weighted adjacency matrix written by libspar\n";
+  out << g.num_vertices() << ' ' << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) {
+    const Vertex lo = std::min(e.u, e.v);
+    const Vertex hi = std::max(e.u, e.v);
+    out << (hi + 1) << ' ' << (lo + 1) << ' ' << e.w << '\n';  // lower triangle, 1-based
+  }
+}
+
+Graph read_matrix_market(std::istream& in) {
+  std::string line;
+  SPAR_CHECK(static_cast<bool>(std::getline(in, line)), "read_matrix_market: empty input");
+  SPAR_CHECK(line.rfind("%%MatrixMarket", 0) == 0, "read_matrix_market: missing banner");
+  SPAR_CHECK(line.find("coordinate") != std::string::npos,
+             "read_matrix_market: only coordinate format supported");
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream header(line);
+  std::size_t rows = 0, cols = 0, nnz = 0;
+  SPAR_CHECK(static_cast<bool>(header >> rows >> cols >> nnz), "read_matrix_market: bad sizes");
+  SPAR_CHECK(rows == cols, "read_matrix_market: matrix must be square");
+  Graph g(static_cast<Vertex>(rows));
+  for (std::size_t i = 0; i < nnz; ++i) {
+    SPAR_CHECK(static_cast<bool>(std::getline(in, line)), "read_matrix_market: truncated");
+    std::istringstream row(line);
+    std::size_t r = 0, c = 0;
+    double w = 1.0;
+    SPAR_CHECK(static_cast<bool>(row >> r >> c), "read_matrix_market: bad entry");
+    row >> w;
+    if (r == c) continue;  // diagonal carries no edge
+    g.add_edge(static_cast<Vertex>(r - 1), static_cast<Vertex>(c - 1), std::abs(w));
+  }
+  return g.coalesced();
+}
+
+}  // namespace spar::graph

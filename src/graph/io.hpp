@@ -1,0 +1,29 @@
+// Graph serialization: a simple whitespace edge-list format and MatrixMarket
+// coordinate format for interoperability with standard sparse tooling.
+//
+// Edge-list format:
+//   # optional comments
+//   <num_vertices> <num_edges>
+//   <u> <v> <w>    (0-based, one per line)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace spar::graph {
+
+void write_edge_list(std::ostream& out, const Graph& g);
+Graph read_edge_list(std::istream& in);
+
+void save_edge_list(const std::string& path, const Graph& g);
+Graph load_edge_list(const std::string& path);
+
+/// MatrixMarket "coordinate real symmetric": writes the weighted adjacency
+/// matrix (lower triangle). Reading accepts general/symmetric coordinate
+/// files and symmetrizes; diagonal entries are ignored.
+void write_matrix_market(std::ostream& out, const Graph& g);
+Graph read_matrix_market(std::istream& in);
+
+}  // namespace spar::graph

@@ -1,0 +1,33 @@
+#include "graph/mst.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/union_find.hpp"
+
+namespace spar::graph {
+
+std::vector<EdgeId> mst_edge_ids(const Graph& g) {
+  const auto edges = g.edges();
+  std::vector<EdgeId> order(edges.size());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  // Minimum resistance == maximum conductance.
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return edges[a].w > edges[b].w;
+  });
+  UnionFind uf(g.num_vertices());
+  std::vector<EdgeId> picked;
+  picked.reserve(g.num_vertices());
+  for (EdgeId id : order) {
+    if (uf.unite(edges[id].u, edges[id].v)) picked.push_back(id);
+  }
+  return picked;
+}
+
+Graph mst(const Graph& g) {
+  std::vector<bool> keep(g.num_edges(), false);
+  for (EdgeId id : mst_edge_ids(g)) keep[id] = true;
+  return g.filtered(keep);
+}
+
+}  // namespace spar::graph

@@ -1,0 +1,18 @@
+// Minimum spanning tree / forest in the resistance metric (length = 1/w,
+// i.e. maximum-weight spanning tree in conductances). Used by the
+// low-stretch-tree extension (Remark 2) and by tests as a stretch baseline.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace spar::graph {
+
+/// Edge ids of a minimum-resistance spanning forest (Kruskal).
+std::vector<EdgeId> mst_edge_ids(const Graph& g);
+
+/// The forest itself as a Graph.
+Graph mst(const Graph& g);
+
+}  // namespace spar::graph

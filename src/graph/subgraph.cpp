@@ -1,0 +1,45 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+
+#include "graph/csr.hpp"
+#include "graph/traversal.hpp"
+#include "support/assert.hpp"
+
+namespace spar::graph {
+
+InducedSubgraph induced_subgraph(const Graph& g, const std::vector<bool>& keep_vertex) {
+  SPAR_CHECK(keep_vertex.size() == g.num_vertices(),
+             "induced_subgraph: mask size mismatch");
+  InducedSubgraph out;
+  out.old_to_new.assign(g.num_vertices(), kInvalidVertex);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (keep_vertex[v]) {
+      out.old_to_new[v] = static_cast<Vertex>(out.new_to_old.size());
+      out.new_to_old.push_back(v);
+    }
+  }
+  Graph sub(static_cast<Vertex>(out.new_to_old.size()));
+  for (const Edge& e : g.edges()) {
+    const Vertex u = out.old_to_new[e.u];
+    const Vertex v = out.old_to_new[e.v];
+    if (u != kInvalidVertex && v != kInvalidVertex) sub.add_edge(u, v, e.w);
+  }
+  out.graph = std::move(sub);
+  return out;
+}
+
+InducedSubgraph largest_component(const Graph& g) {
+  if (g.num_vertices() == 0) return induced_subgraph(g, {});
+  Vertex count = 0;
+  const auto comp = connected_components(CSRGraph(g), &count);
+  std::vector<std::size_t> sizes(count, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) ++sizes[comp[v]];
+  const Vertex best = static_cast<Vertex>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  std::vector<bool> keep(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) keep[v] = comp[v] == best;
+  return induced_subgraph(g, keep);
+}
+
+}  // namespace spar::graph

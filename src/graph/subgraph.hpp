@@ -1,0 +1,27 @@
+// Vertex-subset operations: induced subgraphs with index compaction and
+// largest-connected-component extraction. These make the library robust on
+// real inputs (sparsification and solving assume connected graphs; users
+// extract the giant component first).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace spar::graph {
+
+struct InducedSubgraph {
+  Graph graph;
+  /// old vertex id -> new vertex id (kInvalidVertex if dropped).
+  std::vector<Vertex> old_to_new;
+  /// new vertex id -> old vertex id.
+  std::vector<Vertex> new_to_old;
+};
+
+/// Subgraph induced by `keep_vertex`; vertices are renumbered compactly.
+InducedSubgraph induced_subgraph(const Graph& g, const std::vector<bool>& keep_vertex);
+
+/// The largest connected component (by vertex count), compactly renumbered.
+InducedSubgraph largest_component(const Graph& g);
+
+}  // namespace spar::graph

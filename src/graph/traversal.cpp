@@ -1,0 +1,85 @@
+#include "graph/traversal.hpp"
+
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace spar::graph {
+
+std::vector<std::size_t> bfs_hops(const CSRGraph& g, Vertex source) {
+  SPAR_CHECK(source < g.num_vertices(), "bfs_hops: source out of range");
+  std::vector<std::size_t> hops(g.num_vertices(), static_cast<std::size_t>(-1));
+  std::queue<Vertex> frontier;
+  hops[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const Vertex v = frontier.front();
+    frontier.pop();
+    for (const Arc& arc : g.neighbors(v)) {
+      if (hops[arc.to] == static_cast<std::size_t>(-1)) {
+        hops[arc.to] = hops[v] + 1;
+        frontier.push(arc.to);
+      }
+    }
+  }
+  return hops;
+}
+
+std::vector<Vertex> connected_components(const CSRGraph& g, Vertex* num_components) {
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> comp(n, kInvalidVertex);
+  Vertex next = 0;
+  std::vector<Vertex> stack;
+  for (Vertex start = 0; start < n; ++start) {
+    if (comp[start] != kInvalidVertex) continue;
+    comp[start] = next;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const Arc& arc : g.neighbors(v)) {
+        if (comp[arc.to] == kInvalidVertex) {
+          comp[arc.to] = next;
+          stack.push_back(arc.to);
+        }
+      }
+    }
+    ++next;
+  }
+  if (num_components != nullptr) *num_components = next;
+  return comp;
+}
+
+bool is_connected(const CSRGraph& g) {
+  if (g.num_vertices() == 0) return true;
+  Vertex k = 0;
+  connected_components(g, &k);
+  return k == 1;
+}
+
+std::vector<double> dijkstra(const CSRGraph& g, Vertex source,
+                             const std::vector<bool>* edge_alive, double cutoff) {
+  SPAR_CHECK(source < g.num_vertices(), "dijkstra: source out of range");
+  std::vector<double> dist(g.num_vertices(), kInfDist);
+  using Item = std::pair<double, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;  // stale entry
+    if (d > cutoff) break;
+    for (const Arc& arc : g.neighbors(v)) {
+      if (edge_alive != nullptr && !(*edge_alive)[arc.id]) continue;
+      const double nd = d + 1.0 / arc.w;
+      if (nd < dist[arc.to]) {
+        dist[arc.to] = nd;
+        heap.push({nd, arc.to});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace spar::graph

@@ -1,0 +1,36 @@
+// BFS, connectivity, and Dijkstra shortest paths.
+//
+// Distances for spectral work are always *resistances* (1/w): the paper's
+// stretch of an edge e over H is  w_e * dist_H(u, v)  with dist measured in
+// resistance lengths. dijkstra() therefore defaults to length(e) = 1/w(e).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace spar::graph {
+
+inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+/// Hop distances from `source`; unreachable vertices get SIZE_MAX.
+std::vector<std::size_t> bfs_hops(const CSRGraph& g, Vertex source);
+
+/// Component id per vertex, ids in [0, num_components).
+std::vector<Vertex> connected_components(const CSRGraph& g, Vertex* num_components = nullptr);
+
+bool is_connected(const CSRGraph& g);
+
+/// Resistance-length shortest path distances from `source`.
+/// `edge_alive` (optional) restricts traversal to edges with alive[id] true,
+/// which is how "distance within the spanner H" is evaluated without
+/// materializing subgraphs. `cutoff`: stop expanding labels > cutoff
+/// (distances beyond it are reported as kInfDist).
+std::vector<double> dijkstra(
+    const CSRGraph& g, Vertex source,
+    const std::vector<bool>* edge_alive = nullptr,
+    double cutoff = kInfDist);
+
+}  // namespace spar::graph

@@ -1,0 +1,28 @@
+// Fundamental graph types shared across libspar.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spar::graph {
+
+using Vertex = std::uint32_t;
+using EdgeId = std::size_t;
+
+inline constexpr Vertex kInvalidVertex = static_cast<Vertex>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// Undirected weighted edge. Weight w > 0 is a *conductance*; the electrical
+/// resistance of the edge is 1/w (Section 2 of the paper).
+struct Edge {
+  Vertex u = 0;
+  Vertex v = 0;
+  double w = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Resistance (= length in the paper's stretch metric) of an edge.
+inline double resistance(const Edge& e) { return 1.0 / e.w; }
+
+}  // namespace spar::graph

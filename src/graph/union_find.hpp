@@ -1,0 +1,46 @@
+// Union-find with path halving and union by size. Used by MST, connectivity
+// checks, and random-regular-graph simplification.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace spar::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns true if x and y were in different components (i.e. a merge happened).
+  bool unite(std::size_t x, std::size_t y) {
+    std::size_t rx = find(x);
+    std::size_t ry = find(y);
+    if (rx == ry) return false;
+    if (size_[rx] < size_[ry]) std::swap(rx, ry);
+    parent_[ry] = rx;
+    size_[rx] += size_[ry];
+    return true;
+  }
+
+  bool connected(std::size_t x, std::size_t y) { return find(x) == find(y); }
+
+  std::size_t component_size(std::size_t x) { return size_[find(x)]; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace spar::graph

@@ -1,0 +1,91 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace spar::linalg {
+
+namespace {
+
+// Shared CG skeleton; `precondition` may be null for plain CG.
+CGReport cg_impl(const LinearOperator& a, const LinearOperator* m_inverse,
+                 std::span<const double> b, std::span<double> x,
+                 const CGOptions& options) {
+  const std::size_t n = a.dim;
+  SPAR_CHECK(b.size() == n && x.size() == n, "cg: size mismatch");
+  CGReport report;
+
+  Vector rhs(b.begin(), b.end());
+  if (options.project_constant) remove_mean(rhs);
+  const double b_norm = norm2(rhs);
+  if (b_norm == 0.0) {
+    fill(x, 0.0);
+    report.converged = true;
+    return report;
+  }
+
+  Vector r(n), z(n), p(n), ap(n);
+  if (options.project_constant) remove_mean(x);
+  a.apply(x, ap);
+  ++report.matvec_count;
+  for (std::size_t i = 0; i < n; ++i) r[i] = rhs[i] - ap[i];
+  if (options.project_constant) remove_mean(r);
+
+  auto apply_precond = [&](std::span<const double> in, std::span<double> out) {
+    if (m_inverse != nullptr) {
+      m_inverse->apply(in, out);
+      if (options.project_constant) remove_mean(out);
+    } else {
+      copy(in, out);
+    }
+  };
+
+  apply_precond(r, z);
+  copy(z, p);
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    const double r_norm = norm2(r);
+    report.relative_residual = r_norm / b_norm;
+    if (report.relative_residual <= options.tolerance) {
+      report.converged = true;
+      return report;
+    }
+    a.apply(p, ap);
+    ++report.matvec_count;
+    if (options.project_constant) remove_mean(ap);
+    const double p_ap = dot(p, ap);
+    if (p_ap <= 0.0) break;  // operator not PD on this subspace; bail out
+    const double alpha = rz / p_ap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    if (options.project_constant) remove_mean(r);
+    apply_precond(r, z);
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+#pragma omp parallel for schedule(static) if (n > (1u << 14))
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
+      p[i] = z[i] + beta * p[i];
+    ++report.iterations;
+  }
+  report.relative_residual = norm2(r) / b_norm;
+  report.converged = report.relative_residual <= options.tolerance;
+  return report;
+}
+
+}  // namespace
+
+CGReport conjugate_gradient(const LinearOperator& a, std::span<const double> b,
+                            std::span<double> x, const CGOptions& options) {
+  return cg_impl(a, nullptr, b, x, options);
+}
+
+CGReport preconditioned_cg(const LinearOperator& a, const LinearOperator& m_inverse,
+                           std::span<const double> b, std::span<double> x,
+                           const CGOptions& options) {
+  return cg_impl(a, &m_inverse, b, x, options);
+}
+
+}  // namespace spar::linalg

@@ -1,0 +1,41 @@
+// Conjugate gradient and preconditioned conjugate gradient.
+//
+// Laplacians are singular (nullspace = span{1} for connected graphs); pass
+// project_constant = true to solve within range(L): the right-hand side and
+// every iterate are kept mean-free, which is exactly applying the
+// pseudoinverse. This is the workhorse behind effective-resistance
+// approximation and behind the solver baselines; the Peng-Spielman chain is
+// plugged in as the preconditioner (Section 4 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/operator.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace spar::linalg {
+
+struct CGOptions {
+  double tolerance = 1e-8;       ///< relative residual ||r|| / ||b||
+  std::size_t max_iterations = 10000;
+  bool project_constant = false; ///< keep iterates orthogonal to all-ones
+};
+
+struct CGReport {
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+  std::uint64_t matvec_count = 0;
+};
+
+/// Solve A x = b. `x` carries the initial guess on entry, solution on exit.
+CGReport conjugate_gradient(const LinearOperator& a, std::span<const double> b,
+                            std::span<double> x, const CGOptions& options = {});
+
+/// Preconditioned CG; `m_inverse` applies the preconditioner (approximate
+/// A^{-1}); must be symmetric positive (semi-)definite on the solve subspace.
+CGReport preconditioned_cg(const LinearOperator& a, const LinearOperator& m_inverse,
+                           std::span<const double> b, std::span<double> x,
+                           const CGOptions& options = {});
+
+}  // namespace spar::linalg

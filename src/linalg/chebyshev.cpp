@@ -1,0 +1,59 @@
+#include "linalg/chebyshev.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace spar::linalg {
+
+ChebyshevReport chebyshev_solve(const LinearOperator& a, std::span<const double> b,
+                                std::span<double> x, const ChebyshevOptions& options) {
+  const std::size_t n = a.dim;
+  SPAR_CHECK(b.size() == n && x.size() == n, "chebyshev_solve: size mismatch");
+  SPAR_CHECK(options.lambda_min > 0.0 && options.lambda_max >= options.lambda_min,
+             "chebyshev_solve: need 0 < lambda_min <= lambda_max");
+
+  const double center = 0.5 * (options.lambda_max + options.lambda_min);
+  const double half_width = 0.5 * (options.lambda_max - options.lambda_min);
+
+  Vector rhs(b.begin(), b.end());
+  if (options.project_constant) remove_mean(rhs);
+  const double b_norm = norm2(rhs);
+  ChebyshevReport report;
+  if (b_norm == 0.0) {
+    fill(x, 0.0);
+    return report;
+  }
+
+  // Standard three-term recurrence on the residual polynomial.
+  Vector r(n), p(n), ap(n);
+  if (options.project_constant) remove_mean(x);
+  a.apply(x, ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = rhs[i] - ap[i];
+  if (options.project_constant) remove_mean(r);
+
+  double alpha = 0.0;
+  double beta = 0.0;
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    if (it == 0) {
+      copy(r, p);
+      alpha = 1.0 / center;
+    } else {
+      const double half_alpha = half_width * alpha / 2.0;
+      beta = half_alpha * half_alpha;
+      alpha = 1.0 / (center - beta / alpha);
+#pragma omp parallel for schedule(static) if (n > (1u << 14))
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
+        p[i] = r[i] + beta * p[i];
+    }
+    axpy(alpha, p, x);
+    a.apply(p, ap);
+    if (options.project_constant) remove_mean(ap);
+    axpy(-alpha, ap, r);
+    ++report.iterations;
+  }
+  report.relative_residual = norm2(r) / b_norm;
+  return report;
+}
+
+}  // namespace spar::linalg

@@ -1,0 +1,32 @@
+// Chebyshev semi-iteration for SPD(-on-subspace) operators with known
+// spectral bounds [lambda_min, lambda_max].
+//
+// This is the classical building block of polynomial preconditioning in the
+// Peng-Spielman style of solver: unlike CG it needs no inner products, so it
+// parallelizes with O(1) global synchronizations per step -- the property the
+// paper's parallel model cares about. Convergence factor per iteration is
+// (sqrt(kappa)-1)/(sqrt(kappa)+1) with kappa = lambda_max/lambda_min.
+#pragma once
+
+#include "linalg/operator.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace spar::linalg {
+
+struct ChebyshevOptions {
+  double lambda_min = 0.0;  ///< lower spectral bound (must be > 0)
+  double lambda_max = 0.0;  ///< upper spectral bound (>= true lambda_max)
+  std::size_t iterations = 50;
+  bool project_constant = false;  ///< for singular Laplacians
+};
+
+struct ChebyshevReport {
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;  ///< ||b - A x|| / ||b||
+};
+
+/// Approximates x = A^{-1} b; `x` carries the initial guess on entry.
+ChebyshevReport chebyshev_solve(const LinearOperator& a, std::span<const double> b,
+                                std::span<double> x, const ChebyshevOptions& options);
+
+}  // namespace spar::linalg

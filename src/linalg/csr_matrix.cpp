@@ -1,0 +1,208 @@
+#include "linalg/csr_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include <omp.h>
+
+#include "support/assert.hpp"
+
+namespace spar::linalg {
+
+CSRMatrix CSRMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   std::vector<Triplet> triplets, bool drop_zeros) {
+  for (const Triplet& t : triplets)
+    SPAR_CHECK(t.row < rows && t.col < cols, "from_triplets: index out of range");
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+    return std::tie(a.row, a.col) < std::tie(b.row, b.col);
+  });
+  CSRMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.offsets_.assign(rows + 1, 0);
+  m.col_index_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  for (std::size_t i = 0; i < triplets.size();) {
+    double sum = 0.0;
+    std::size_t j = i;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    if (!(drop_zeros && sum == 0.0)) {
+      m.col_index_.push_back(triplets[i].col);
+      m.values_.push_back(sum);
+      ++m.offsets_[triplets[i].row + 1];
+    }
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows; ++r) m.offsets_[r + 1] += m.offsets_[r];
+  return m;
+}
+
+CSRMatrix CSRMatrix::identity(std::size_t n) {
+  std::vector<Triplet> t;
+  t.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    t.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i), 1.0});
+  return from_triplets(n, n, std::move(t));
+}
+
+CSRMatrix CSRMatrix::diagonal(std::span<const double> d) {
+  std::vector<Triplet> t;
+  t.reserve(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i)
+    t.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i), d[i]});
+  return from_triplets(d.size(), d.size(), std::move(t), /*drop_zeros=*/false);
+}
+
+void CSRMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  SPAR_CHECK(x.size() == cols_ && y.size() == rows_, "multiply: size mismatch");
+#pragma omp parallel for schedule(static) if (nnz() > (1u << 14))
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(rows_); ++r) {
+    double sum = 0.0;
+    for (std::size_t k = offsets_[r]; k < offsets_[r + 1]; ++k)
+      sum += values_[k] * x[col_index_[k]];
+    y[r] = sum;
+  }
+}
+
+Vector CSRMatrix::multiply(std::span<const double> x) const {
+  Vector y(rows_);
+  multiply(x, y);
+  return y;
+}
+
+void CSRMatrix::multiply_add(std::span<const double> x, std::span<double> y,
+                             double beta) const {
+  SPAR_CHECK(x.size() == cols_ && y.size() == rows_, "multiply_add: size mismatch");
+#pragma omp parallel for schedule(static) if (nnz() > (1u << 14))
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(rows_); ++r) {
+    double sum = 0.0;
+    for (std::size_t k = offsets_[r]; k < offsets_[r + 1]; ++k)
+      sum += values_[k] * x[col_index_[k]];
+    y[r] = sum + beta * y[r];
+  }
+}
+
+CSRMatrix CSRMatrix::multiply(const CSRMatrix& other) const {
+  SPAR_CHECK(cols_ == other.rows_, "SpGEMM: inner dimension mismatch");
+  CSRMatrix c;
+  c.rows_ = rows_;
+  c.cols_ = other.cols_;
+  c.offsets_.assign(rows_ + 1, 0);
+
+  // Pass 1: count nnz per output row (Gustavson symbolic phase).
+  std::vector<std::size_t> row_nnz(rows_, 0);
+#pragma omp parallel
+  {
+    std::vector<std::int32_t> marker(other.cols_, -1);
+#pragma omp for schedule(dynamic, 64)
+    for (std::int64_t r = 0; r < static_cast<std::int64_t>(rows_); ++r) {
+      std::size_t count = 0;
+      for (std::size_t ka = offsets_[r]; ka < offsets_[r + 1]; ++ka) {
+        const std::uint32_t mid = col_index_[ka];
+        for (std::size_t kb = other.offsets_[mid]; kb < other.offsets_[mid + 1]; ++kb) {
+          const std::uint32_t col = other.col_index_[kb];
+          if (marker[col] != r) {
+            marker[col] = static_cast<std::int32_t>(r);
+            ++count;
+          }
+        }
+      }
+      row_nnz[r] = count;
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) c.offsets_[r + 1] = c.offsets_[r] + row_nnz[r];
+  c.col_index_.resize(c.offsets_[rows_]);
+  c.values_.resize(c.offsets_[rows_]);
+
+  // Pass 2: numeric phase with dense accumulator per thread.
+#pragma omp parallel
+  {
+    std::vector<double> accum(other.cols_, 0.0);
+    std::vector<std::int64_t> marker(other.cols_, -1);
+#pragma omp for schedule(dynamic, 64)
+    for (std::int64_t r = 0; r < static_cast<std::int64_t>(rows_); ++r) {
+      std::size_t head = c.offsets_[r];
+      for (std::size_t ka = offsets_[r]; ka < offsets_[r + 1]; ++ka) {
+        const std::uint32_t mid = col_index_[ka];
+        const double va = values_[ka];
+        for (std::size_t kb = other.offsets_[mid]; kb < other.offsets_[mid + 1]; ++kb) {
+          const std::uint32_t col = other.col_index_[kb];
+          if (marker[col] != r) {
+            marker[col] = r;
+            accum[col] = 0.0;
+            c.col_index_[head++] = col;
+          }
+          accum[col] += va * other.values_[kb];
+        }
+      }
+      // Sort this row's columns for deterministic layout, then write values.
+      std::sort(c.col_index_.begin() + static_cast<std::ptrdiff_t>(c.offsets_[r]),
+                c.col_index_.begin() + static_cast<std::ptrdiff_t>(head));
+      for (std::size_t k = c.offsets_[r]; k < head; ++k)
+        c.values_[k] = accum[c.col_index_[k]];
+    }
+  }
+  return c;
+}
+
+Vector CSRMatrix::diagonal_vector() const {
+  Vector d(std::min(rows_, cols_), 0.0);
+  for (std::size_t r = 0; r < d.size(); ++r)
+    for (std::size_t k = offsets_[r]; k < offsets_[r + 1]; ++k)
+      if (col_index_[k] == r) d[r] += values_[k];
+  return d;
+}
+
+CSRMatrix CSRMatrix::scaled_symmetric(std::span<const double> s) const {
+  SPAR_CHECK(rows_ == cols_ && s.size() == rows_, "scaled_symmetric: size mismatch");
+  CSRMatrix out = *this;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(rows_); ++r)
+    for (std::size_t k = offsets_[r]; k < offsets_[r + 1]; ++k)
+      out.values_[k] = s[r] * values_[k] * s[col_index_[k]];
+  return out;
+}
+
+double CSRMatrix::symmetry_gap() const {
+  const CSRMatrix t = transpose();
+  const CSRMatrix diff = add(t, -1.0);
+  double gap = 0.0;
+  for (double v : diff.values_) gap = std::max(gap, std::abs(v));
+  return gap;
+}
+
+double CSRMatrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+CSRMatrix CSRMatrix::transpose() const {
+  std::vector<Triplet> t;
+  t.reserve(nnz());
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = offsets_[r]; k < offsets_[r + 1]; ++k)
+      t.push_back({col_index_[k], static_cast<std::uint32_t>(r), values_[k]});
+  return from_triplets(cols_, rows_, std::move(t), /*drop_zeros=*/false);
+}
+
+CSRMatrix CSRMatrix::add(const CSRMatrix& other, double alpha) const {
+  SPAR_CHECK(rows_ == other.rows_ && cols_ == other.cols_, "add: shape mismatch");
+  std::vector<Triplet> t;
+  t.reserve(nnz() + other.nnz());
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = offsets_[r]; k < offsets_[r + 1]; ++k)
+      t.push_back({static_cast<std::uint32_t>(r), col_index_[k], values_[k]});
+  for (std::size_t r = 0; r < other.rows_; ++r)
+    for (std::size_t k = other.offsets_[r]; k < other.offsets_[r + 1]; ++k)
+      t.push_back({static_cast<std::uint32_t>(r), other.col_index_[k],
+                   alpha * other.values_[k]});
+  return from_triplets(rows_, cols_, std::move(t));
+}
+
+}  // namespace spar::linalg

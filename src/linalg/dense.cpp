@@ -1,0 +1,197 @@
+#include "linalg/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace spar::linalg {
+
+DenseMatrix DenseMatrix::from_csr(const CSRMatrix& m) {
+  DenseMatrix d(m.rows(), m.cols());
+  const auto offsets = m.row_offsets();
+  const auto cols = m.col_indices();
+  const auto vals = m.values();
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k)
+      d.at(r, cols[k]) += vals[k];
+  return d;
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) d.at(i, i) = 1.0;
+  return d;
+}
+
+Vector DenseMatrix::multiply(std::span<const double> x) const {
+  SPAR_CHECK(x.size() == cols_, "DenseMatrix::multiply: size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double xc = x[c];
+    const auto col = column(c);
+    for (std::size_t r = 0; r < rows_; ++r) y[r] += col[r] * xc;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  SPAR_CHECK(cols_ == other.rows_, "DenseMatrix::multiply: shape mismatch");
+  DenseMatrix out(rows_, other.cols_);
+#pragma omp parallel for schedule(static) if (rows_ * other.cols_ > (1u << 16))
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(other.cols_); ++c) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double b = other.at(k, c);
+      if (b == 0.0) continue;
+      const auto colk = column(k);
+      auto outc = out.column(c);
+      for (std::size_t r = 0; r < rows_; ++r) outc[r] += colk[r] * b;
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (std::size_t c = 0; c < cols_; ++c)
+    for (std::size_t r = 0; r < rows_; ++r) out.at(c, r) = at(r, c);
+  return out;
+}
+
+double DenseMatrix::max_abs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+EigenDecomposition symmetric_eigen(const DenseMatrix& m, double tol, int max_sweeps) {
+  SPAR_CHECK(m.rows() == m.cols(), "symmetric_eigen: matrix must be square");
+  const std::size_t n = m.rows();
+  DenseMatrix a = m;
+  DenseMatrix v = DenseMatrix::identity(n);
+
+  double fro = 0.0;
+  for (std::size_t c = 0; c < n; ++c)
+    for (std::size_t r = 0; r < n; ++r) fro += a.at(r, c) * a.at(r, c);
+  fro = std::sqrt(fro);
+  const double threshold = tol * std::max(fro, 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += 2.0 * a.at(p, q) * a.at(p, q);
+    if (std::sqrt(off) <= threshold) break;
+
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::abs(apq) <= threshold / static_cast<double>(n * n)) continue;
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/cols p, q of A.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.eigenvalues[i] = a.at(i, i);
+  // Sort ascending with matching vectors.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return out.eigenvalues[x] < out.eigenvalues[y];
+  });
+  Vector sorted_vals(n);
+  DenseMatrix sorted_vecs(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted_vals[i] = out.eigenvalues[order[i]];
+    copy(v.column(order[i]), sorted_vecs.column(i));
+  }
+  out.eigenvalues = std::move(sorted_vals);
+  out.eigenvectors = std::move(sorted_vecs);
+  return out;
+}
+
+DenseMatrix cholesky(const DenseMatrix& m) {
+  SPAR_CHECK(m.rows() == m.cols(), "cholesky: matrix must be square");
+  const std::size_t n = m.rows();
+  DenseMatrix lower(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = m.at(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= lower.at(j, k) * lower.at(j, k);
+    SPAR_CHECK(d > 0.0, "cholesky: matrix is not positive definite");
+    const double ljj = std::sqrt(d);
+    lower.at(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = m.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= lower.at(i, k) * lower.at(j, k);
+      lower.at(i, j) = s / ljj;
+    }
+  }
+  return lower;
+}
+
+Vector cholesky_solve(const DenseMatrix& lower, std::span<const double> b) {
+  const std::size_t n = lower.rows();
+  SPAR_CHECK(b.size() == n, "cholesky_solve: size mismatch");
+  Vector y(b.begin(), b.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k) y[i] -= lower.at(i, k) * y[k];
+    y[i] /= lower.at(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t k = ii + 1; k < n; ++k) y[ii] -= lower.at(k, ii) * y[k];
+    y[ii] /= lower.at(ii, ii);
+  }
+  return y;
+}
+
+DenseMatrix symmetric_pinv(const DenseMatrix& m, double rel_tol) {
+  const auto eig = symmetric_eigen(m);
+  const std::size_t n = m.rows();
+  double lambda_max = 0.0;
+  for (double l : eig.eigenvalues) lambda_max = std::max(lambda_max, std::abs(l));
+  const double cut = rel_tol * std::max(lambda_max, 1e-300);
+  DenseMatrix out(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double l = eig.eigenvalues[k];
+    if (std::abs(l) <= cut) continue;
+    const double inv = 1.0 / l;
+    const auto vk = eig.eigenvectors.column(k);
+    for (std::size_t c = 0; c < n; ++c) {
+      const double f = inv * vk[c];
+      if (f == 0.0) continue;
+      auto col = out.column(c);
+      for (std::size_t r = 0; r < n; ++r) col[r] += vk[r] * f;
+    }
+  }
+  return out;
+}
+
+}  // namespace spar::linalg

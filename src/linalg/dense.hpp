@@ -1,0 +1,71 @@
+// Dense symmetric linear algebra for exact verification paths:
+//  * DenseMatrix with column-major storage,
+//  * cyclic Jacobi symmetric eigensolver (robust, O(n^3); n <= ~1500),
+//  * Cholesky factorization/solve,
+//  * Laplacian pseudoinverse via eigendecomposition.
+//
+// These exist so the randomized algorithms can be certified against exact
+// spectra in tests and small benches; large-n paths use Lanczos + CG instead.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace spar::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static DenseMatrix from_csr(const CSRMatrix& m);
+  static DenseMatrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[c * rows_ + r]; }
+  double at(std::size_t r, std::size_t c) const { return data_[c * rows_ + r]; }
+
+  std::span<double> column(std::size_t c) { return {data_.data() + c * rows_, rows_}; }
+  std::span<const double> column(std::size_t c) const {
+    return {data_.data() + c * rows_, rows_};
+  }
+
+  Vector multiply(std::span<const double> x) const;
+  DenseMatrix multiply(const DenseMatrix& other) const;
+  DenseMatrix transpose() const;
+
+  double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;  // column-major
+};
+
+struct EigenDecomposition {
+  Vector eigenvalues;      ///< ascending
+  DenseMatrix eigenvectors;///< column k pairs with eigenvalues[k]
+};
+
+/// Cyclic Jacobi rotations; `m` must be symmetric. tol is the off-diagonal
+/// Frobenius threshold relative to ||m||_F.
+EigenDecomposition symmetric_eigen(const DenseMatrix& m, double tol = 1e-12,
+                                   int max_sweeps = 64);
+
+/// In-place Cholesky of an SPD matrix; returns lower factor. Throws on
+/// non-positive pivot.
+DenseMatrix cholesky(const DenseMatrix& m);
+
+/// Solve L L^T x = b given the lower factor.
+Vector cholesky_solve(const DenseMatrix& lower, std::span<const double> b);
+
+/// Moore-Penrose pseudoinverse of a symmetric PSD matrix via eigen-
+/// decomposition; eigenvalues below rel_tol * lambda_max are treated as zero.
+DenseMatrix symmetric_pinv(const DenseMatrix& m, double rel_tol = 1e-10);
+
+}  // namespace spar::linalg

@@ -1,0 +1,109 @@
+#include "linalg/eigen_iterative.hpp"
+
+#include <cmath>
+
+#include "linalg/dense.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace spar::linalg {
+
+namespace {
+
+Vector random_unit_vector(std::size_t n, std::uint64_t seed, bool project_constant) {
+  support::Rng rng(seed);
+  Vector v(n);
+  for (double& x : v) x = rng.normal();
+  if (project_constant) remove_mean(v);
+  const double nrm = norm2(v);
+  SPAR_CHECK(nrm > 0.0, "random_unit_vector: degenerate draw");
+  scale(1.0 / nrm, v);
+  return v;
+}
+
+}  // namespace
+
+PowerIterationResult power_iteration(const LinearOperator& a, std::uint64_t seed,
+                                     double tolerance, std::size_t max_iterations,
+                                     bool project_constant) {
+  const std::size_t n = a.dim;
+  Vector v = random_unit_vector(n, seed, project_constant);
+  Vector av(n);
+  PowerIterationResult result;
+  double prev = 0.0;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    a.apply(v, av);
+    if (project_constant) remove_mean(av);
+    const double lambda = dot(v, av);  // Rayleigh quotient
+    const double nrm = norm2(av);
+    result.iterations = it + 1;
+    result.eigenvalue = lambda;
+    if (nrm == 0.0) {
+      result.converged = true;
+      return result;
+    }
+    scale(1.0 / nrm, av);
+    std::swap(v, av);
+    if (it > 0 && std::abs(lambda - prev) <= tolerance * std::max(1.0, std::abs(lambda))) {
+      result.converged = true;
+      return result;
+    }
+    prev = lambda;
+  }
+  return result;
+}
+
+LanczosResult lanczos_extreme(const LinearOperator& a, std::uint64_t seed,
+                              std::size_t steps, bool project_constant) {
+  const std::size_t n = a.dim;
+  steps = std::min(steps, n);
+  SPAR_CHECK(steps >= 1, "lanczos_extreme: need at least one step");
+
+  std::vector<Vector> basis;
+  basis.reserve(steps);
+  basis.push_back(random_unit_vector(n, seed, project_constant));
+
+  Vector alpha, beta;
+  Vector w(n);
+  for (std::size_t j = 0; j < steps; ++j) {
+    a.apply(basis[j], w);
+    if (project_constant) remove_mean(w);
+    const double aj = dot(w, basis[j]);
+    alpha.push_back(aj);
+    axpy(-aj, basis[j], w);
+    if (j > 0) axpy(-beta[j - 1], basis[j - 1], w);
+    // Full reorthogonalization: Krylov bases lose orthogonality fast in
+    // floating point and we need trustworthy extreme Ritz values.
+    for (const Vector& q : basis) axpy(-dot(w, q), q, w);
+    // Rounding in the reorthogonalization sweep reintroduces a component
+    // along the all-ones direction; without re-projecting, deep Krylov
+    // spaces resolve the Laplacian nullspace as a spurious ~0 Ritz value.
+    if (project_constant) remove_mean(w);
+    const double bj = norm2(w);
+    if (j + 1 == steps || bj < 1e-13) {
+      break;
+    }
+    beta.push_back(bj);
+    Vector next = w;
+    scale(1.0 / bj, next);
+    basis.push_back(std::move(next));
+  }
+
+  const std::size_t k = alpha.size();
+  DenseMatrix tri(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    tri.at(i, i) = alpha[i];
+    if (i + 1 < k && i < beta.size()) {
+      tri.at(i, i + 1) = beta[i];
+      tri.at(i + 1, i) = beta[i];
+    }
+  }
+  const auto eig = symmetric_eigen(tri);
+  LanczosResult result;
+  result.steps = k;
+  result.min_eigenvalue = eig.eigenvalues.front();
+  result.max_eigenvalue = eig.eigenvalues.back();
+  return result;
+}
+
+}  // namespace spar::linalg

@@ -1,0 +1,43 @@
+// Iterative extremal eigenvalue estimation for symmetric operators:
+//  * power_iteration: dominant eigenvalue,
+//  * lanczos_extreme: both ends of the spectrum via a small Krylov basis with
+//    full reorthogonalization.
+//
+// Used by the large-n spectral certification path: the relative condition
+// number of (L_H, L_G) is estimated from extreme eigenvalues of
+// pinv(L_G) L_H without densifying anything.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/operator.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace spar::linalg {
+
+struct PowerIterationResult {
+  double eigenvalue = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Largest-magnitude eigenvalue of symmetric `a`. If project_constant, all
+/// iterates stay orthogonal to the all-ones vector.
+PowerIterationResult power_iteration(const LinearOperator& a, std::uint64_t seed,
+                                     double tolerance = 1e-8,
+                                     std::size_t max_iterations = 2000,
+                                     bool project_constant = false);
+
+struct LanczosResult {
+  double min_eigenvalue = 0.0;
+  double max_eigenvalue = 0.0;
+  std::size_t steps = 0;
+};
+
+/// Extremal Ritz values of symmetric `a` after `steps` Lanczos steps with
+/// full reorthogonalization. Ritz values converge to the extreme eigenvalues
+/// from inside, so min is an over- and max an under-estimate.
+LanczosResult lanczos_extreme(const LinearOperator& a, std::uint64_t seed,
+                              std::size_t steps = 60, bool project_constant = false);
+
+}  // namespace spar::linalg

@@ -1,0 +1,84 @@
+#include "linalg/laplacian.hpp"
+
+#include "support/assert.hpp"
+
+namespace spar::linalg {
+
+CSRMatrix laplacian_matrix(const graph::Graph& g) {
+  std::vector<Triplet> t;
+  t.reserve(4 * g.num_edges());
+  for (const graph::Edge& e : g.edges()) {
+    t.push_back({e.u, e.v, -e.w});
+    t.push_back({e.v, e.u, -e.w});
+    t.push_back({e.u, e.u, e.w});
+    t.push_back({e.v, e.v, e.w});
+  }
+  return CSRMatrix::from_triplets(g.num_vertices(), g.num_vertices(), std::move(t),
+                                  /*drop_zeros=*/false);
+}
+
+Vector degree_vector(const graph::Graph& g) {
+  Vector d(g.num_vertices(), 0.0);
+  for (const graph::Edge& e : g.edges()) {
+    d[e.u] += e.w;
+    d[e.v] += e.w;
+  }
+  return d;
+}
+
+CSRMatrix adjacency_matrix(const graph::Graph& g) {
+  std::vector<Triplet> t;
+  t.reserve(2 * g.num_edges());
+  for (const graph::Edge& e : g.edges()) {
+    t.push_back({e.u, e.v, e.w});
+    t.push_back({e.v, e.u, e.w});
+  }
+  return CSRMatrix::from_triplets(g.num_vertices(), g.num_vertices(), std::move(t),
+                                  /*drop_zeros=*/false);
+}
+
+void LaplacianOperator::apply(std::span<const double> x, std::span<double> y) const {
+  SPAR_CHECK(x.size() == dimension() && y.size() == dimension(),
+             "LaplacianOperator::apply: size mismatch");
+  fill(y, 0.0);
+  // Edge-parallel apply would race on y; vertex-parallel needs CSR. For the
+  // matrix-free path the edge list is walked serially per thread over disjoint
+  // chunks with atomic adds -- measured faster than building CSR for one-shot
+  // applies, and exact either way.
+  const auto edges = g_->edges();
+#pragma omp parallel for schedule(static) if (edges.size() > (1u << 15))
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(edges.size()); ++i) {
+    const graph::Edge& e = edges[i];
+    const double flow = e.w * (x[e.u] - x[e.v]);
+#pragma omp atomic
+    y[e.u] += flow;
+#pragma omp atomic
+    y[e.v] -= flow;
+  }
+}
+
+Vector LaplacianOperator::apply(std::span<const double> x) const {
+  Vector y(dimension());
+  apply(x, y);
+  return y;
+}
+
+double LaplacianOperator::quadratic_form(std::span<const double> x) const {
+  return laplacian_quadratic_form(*g_, x);
+}
+
+double laplacian_quadratic_form(const graph::Graph& g, std::span<const double> x) {
+  SPAR_CHECK(x.size() == g.num_vertices(), "quadratic_form: size mismatch");
+  const auto edges = g.edges();
+  double sum = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : sum) \
+    if (edges.size() > (1u << 15))
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(edges.size()); ++i) {
+    const graph::Edge& e = edges[i];
+    const double d = x[e.u] - x[e.v];
+    sum += e.w * d * d;
+  }
+  return sum;
+}
+
+}  // namespace spar::linalg

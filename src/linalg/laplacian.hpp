@@ -1,0 +1,45 @@
+// Laplacian operators built from graphs (Section 2 of the paper):
+//   L(i,j) = -w_ij for i != j,   L(i,i) = sum_j w_ij.
+//
+// Two representations are provided:
+//  * laplacian_matrix(g): explicit CSR form, for the solver's algebra.
+//  * LaplacianOperator(g): matrix-free y = Lx via the edge list (two flops
+//    per edge), plus the quadratic form x^T L x computed exactly as
+//    sum_e w_e (x_u - x_v)^2; this is the form the sparsification certificate
+//    uses because it is exact and embarrassingly parallel.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "linalg/csr_matrix.hpp"
+
+namespace spar::linalg {
+
+CSRMatrix laplacian_matrix(const graph::Graph& g);
+
+/// Weighted degree of each vertex.
+Vector degree_vector(const graph::Graph& g);
+
+/// Adjacency matrix (positive off-diagonals) in CSR form.
+CSRMatrix adjacency_matrix(const graph::Graph& g);
+
+class LaplacianOperator {
+ public:
+  explicit LaplacianOperator(const graph::Graph& g) : g_(&g) {}
+
+  std::size_t dimension() const { return g_->num_vertices(); }
+
+  /// y = L x
+  void apply(std::span<const double> x, std::span<double> y) const;
+  Vector apply(std::span<const double> x) const;
+
+  /// x^T L x = sum_e w_e (x_u - x_v)^2  (always >= 0).
+  double quadratic_form(std::span<const double> x) const;
+
+ private:
+  const graph::Graph* g_;
+};
+
+/// Exact quadratic form without constructing an operator.
+double laplacian_quadratic_form(const graph::Graph& g, std::span<const double> x);
+
+}  // namespace spar::linalg

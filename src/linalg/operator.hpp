@@ -1,0 +1,16 @@
+// Matrix-free symmetric linear operator abstraction shared by the iterative
+// solvers and eigenvalue estimators.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace spar::linalg {
+
+struct LinearOperator {
+  std::size_t dim = 0;
+  /// y = A x. Must be linear and (for CG / Lanczos users) symmetric PSD.
+  std::function<void(std::span<const double>, std::span<double>)> apply;
+};
+
+}  // namespace spar::linalg

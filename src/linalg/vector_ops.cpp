@@ -1,0 +1,71 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace spar::linalg {
+
+namespace {
+constexpr std::int64_t kParThreshold = 1 << 14;  // below this, serial is faster
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  SPAR_DASSERT(a.size() == b.size());
+  const auto n = static_cast<std::int64_t>(a.size());
+  double sum = 0.0;
+  if (n >= kParThreshold) {
+#pragma omp parallel for schedule(static) reduction(+ : sum)
+    for (std::int64_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  SPAR_DASSERT(x.size() == y.size());
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static) if (n >= kParThreshold)
+  for (std::int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static) if (n >= kParThreshold)
+  for (std::int64_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void copy(std::span<const double> x, std::span<double> y) {
+  SPAR_DASSERT(x.size() == y.size());
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static) if (n >= kParThreshold)
+  for (std::int64_t i = 0; i < n; ++i) y[i] = x[i];
+}
+
+void fill(std::span<double> x, double value) {
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static) if (n >= kParThreshold)
+  for (std::int64_t i = 0; i < n; ++i) x[i] = value;
+}
+
+double mean(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double sum = 0.0;
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static) reduction(+ : sum) if (n >= kParThreshold)
+  for (std::int64_t i = 0; i < n; ++i) sum += x[i];
+  return sum / static_cast<double>(x.size());
+}
+
+void remove_mean(std::span<double> x) {
+  const double m = mean(x);
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static) if (n >= kParThreshold)
+  for (std::int64_t i = 0; i < n; ++i) x[i] -= m;
+}
+
+}  // namespace spar::linalg

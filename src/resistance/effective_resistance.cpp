@@ -1,0 +1,103 @@
+#include "resistance/effective_resistance.hpp"
+
+#include <cmath>
+
+#include "graph/csr.hpp"
+#include "graph/traversal.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/laplacian.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace spar::resistance {
+
+using graph::Graph;
+using graph::Vertex;
+using linalg::DenseMatrix;
+using linalg::Vector;
+
+DenseMatrix laplacian_pinv(const Graph& g) {
+  SPAR_CHECK(graph::is_connected(graph::CSRGraph(g)),
+             "laplacian_pinv: graph must be connected");
+  const DenseMatrix dense = DenseMatrix::from_csr(linalg::laplacian_matrix(g));
+  return linalg::symmetric_pinv(dense);
+}
+
+Vector exact_effective_resistances(const Graph& g) {
+  const DenseMatrix pinv = laplacian_pinv(g);
+  const auto edges = g.edges();
+  Vector r(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Vertex u = edges[i].u;
+    const Vertex v = edges[i].v;
+    r[i] = pinv.at(u, u) - 2.0 * pinv.at(u, v) + pinv.at(v, v);
+  }
+  return r;
+}
+
+double exact_effective_resistance(const Graph& g, Vertex u, Vertex v) {
+  SPAR_CHECK(u < g.num_vertices() && v < g.num_vertices(),
+             "exact_effective_resistance: vertex out of range");
+  const DenseMatrix pinv = laplacian_pinv(g);
+  return pinv.at(u, u) - 2.0 * pinv.at(u, v) + pinv.at(v, v);
+}
+
+Vector approx_effective_resistances(const Graph& g,
+                                    const ApproxResistanceOptions& options) {
+  const std::size_t n = g.num_vertices();
+  const auto edges = g.edges();
+  SPAR_CHECK(n >= 2, "approx_effective_resistances: need at least 2 vertices");
+
+  const std::size_t probes =
+      options.num_probes != 0
+          ? options.num_probes
+          : static_cast<std::size_t>(std::ceil(
+                8.0 * std::log(static_cast<double>(n)) /
+                (options.epsilon * options.epsilon)));
+
+  const linalg::LaplacianOperator lap(g);
+  const linalg::LinearOperator op{
+      n, [&lap](std::span<const double> x, std::span<double> y) { lap.apply(x, y); }};
+
+  // R_e ~ sum_i (z_i[u] - z_i[v])^2 where z_i = pinv(L) B^T W^{1/2} q_i and
+  // q_i has +-1/sqrt(probes) entries, one per edge.
+  Vector r(edges.size(), 0.0);
+  Vector rhs(n), z(n);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(probes));
+  for (std::size_t probe = 0; probe < probes; ++probe) {
+    // rhs = B^T W^{1/2} q: accumulate +-sqrt(w_e) at the endpoints.
+    linalg::fill(rhs, 0.0);
+    for (std::size_t eidx = 0; eidx < edges.size(); ++eidx) {
+      const double sign =
+          support::stream_uniform(options.seed,
+                                  support::mix64(probe, eidx)) < 0.5
+              ? -1.0
+              : 1.0;
+      const double val = sign * scale * std::sqrt(edges[eidx].w);
+      rhs[edges[eidx].u] += val;
+      rhs[edges[eidx].v] -= val;
+    }
+    linalg::fill(z, 0.0);
+    linalg::CGOptions cg;
+    cg.tolerance = options.cg_tolerance;
+    cg.max_iterations = options.cg_max_iterations;
+    cg.project_constant = true;
+    linalg::conjugate_gradient(op, rhs, z, cg);
+#pragma omp parallel for schedule(static) if (edges.size() > (1u << 15))
+    for (std::int64_t eidx = 0; eidx < static_cast<std::int64_t>(edges.size()); ++eidx) {
+      const double d = z[edges[eidx].u] - z[edges[eidx].v];
+      r[eidx] += d * d;
+    }
+  }
+  return r;
+}
+
+Vector leverage_scores(const Graph& g, const Vector& resistances) {
+  SPAR_CHECK(resistances.size() == g.num_edges(), "leverage_scores: size mismatch");
+  const auto edges = g.edges();
+  Vector lev(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) lev[i] = edges[i].w * resistances[i];
+  return lev;
+}
+
+}  // namespace spar::resistance

@@ -1,0 +1,164 @@
+#include "solver/chain.hpp"
+
+#include <cmath>
+
+#include "linalg/chebyshev.hpp"
+#include "linalg/eigen_iterative.hpp"
+#include "solver/squaring.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace spar::solver {
+
+using linalg::Vector;
+
+InverseChain::InverseChain(SDDMatrix m, const ChainOptions& options) {
+  tail_ = options.tail;
+  jacobi_steps_ = options.last_level_jacobi_steps;
+  chebyshev_steps_ = options.last_level_chebyshev_steps;
+  project_constant_ = m.is_singular();
+
+  SDDMatrix current = std::move(m);
+  for (std::size_t level = 0; level < options.max_levels; ++level) {
+    ChainLevelInfo info;
+    info.edges = current.graph_part().num_edges();
+    info.gamma = adjacency_dominance(current);
+
+    Level stored;
+    stored.matrix = current;
+    stored.adjacency = current.adjacency_csr();
+    const Vector& d = current.diagonal();
+    stored.inv_diagonal.resize(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      SPAR_CHECK(d[i] > 0.0, "InverseChain: zero diagonal");
+      stored.inv_diagonal[i] = 1.0 / d[i];
+    }
+    levels_.push_back(std::move(stored));
+    info_.push_back(info);
+
+    // Termination: Jacobi handles the rest once off-diagonal mass is small.
+    // Singular Laplacians keep gamma == 1 (the nullspace direction never
+    // decays), so they terminate by max_levels / saturation instead; the
+    // chain is then used as a PCG preconditioner with constant projection.
+    if (info.gamma <= options.gamma_stop) break;
+    if (current.graph_part().num_edges() == 0) break;
+
+    SquaringStats sq_stats;
+    SDDMatrix squared = square(current, &sq_stats);
+    info_.back().edges_after_square = sq_stats.output_edges;
+
+    // Section 4: bring the level back toward its original size whenever it
+    // exceeds the threshold of applicability m' = edge_factor * n.
+    const auto threshold = static_cast<std::size_t>(
+        options.edge_factor * static_cast<double>(squared.dimension()));
+    if (squared.graph_part().num_edges() > threshold) {
+      sparsify::SparsifyOptions spopt;
+      spopt.epsilon = options.level_epsilon;
+      spopt.rho = options.rho;
+      spopt.t = options.t;
+      spopt.seed = support::mix64(options.seed, level + 1);
+      spopt.work = options.work;
+      auto sparsified = sparsify::parallel_sparsify(squared.graph_part(), spopt);
+      squared = SDDMatrix(std::move(sparsified.sparsifier),
+                          Vector(squared.slack()));
+    }
+    current = std::move(squared);
+  }
+
+  if (tail_ == TailSmoother::kChebyshev) {
+    // Spectral bounds of the last level for the Chebyshev tail. Ritz values
+    // converge from inside, so pad: /4 below (must be a true lower bound for
+    // every mode to be damped), *1.05 above.
+    const SDDMatrix& last = levels_.back().matrix;
+    const linalg::LinearOperator op{
+        last.dimension(), [&last](std::span<const double> in, std::span<double> out) {
+          last.apply(in, out);
+        }};
+    const auto ritz = linalg::lanczos_extreme(op, support::mix64(options.seed, 0xc4ebULL),
+                                              60, project_constant_);
+    tail_lambda_min_ = std::max(ritz.min_eigenvalue / 4.0, 1e-12);
+    tail_lambda_max_ = ritz.max_eigenvalue * 1.05;
+  }
+}
+
+std::size_t InverseChain::total_nnz() const {
+  std::size_t total = 0;
+  for (const Level& level : levels_) total += level.matrix.nnz();
+  return total;
+}
+
+void InverseChain::apply_level(std::size_t level, std::span<const double> b,
+                               std::span<double> y) const {
+  const Level& lvl = levels_[level];
+  const std::size_t n = b.size();
+
+  if (level + 1 == levels_.size()) {
+    apply_tail(b, y);
+    return;
+  }
+
+  // u = (I + A D^{-1}) b
+  Vector scaled(n), u(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = lvl.inv_diagonal[i] * b[i];
+  lvl.adjacency.multiply(scaled, u);
+  for (std::size_t i = 0; i < n; ++i) u[i] += b[i];
+
+  // v = M_{i+1}^{-1} u
+  Vector v(n);
+  apply_level(level + 1, u, v);
+
+  // y = 1/2 (D^{-1} b + v + D^{-1} A v)
+  Vector av(n);
+  lvl.adjacency.multiply(v, av);
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] = 0.5 * (lvl.inv_diagonal[i] * b[i] + v[i] + lvl.inv_diagonal[i] * av[i]);
+  if (project_constant_) linalg::remove_mean(y);
+}
+
+void InverseChain::apply_tail(std::span<const double> b, std::span<double> y) const {
+  const Level& lvl = levels_.back();
+  const std::size_t n = b.size();
+
+  if (tail_ == TailSmoother::kChebyshev) {
+    const linalg::LinearOperator op{
+        n, [&lvl](std::span<const double> in, std::span<double> out) {
+          lvl.matrix.apply(in, out);
+        }};
+    Vector x(n, 0.0);
+    linalg::ChebyshevOptions copt;
+    copt.lambda_min = tail_lambda_min_;
+    copt.lambda_max = tail_lambda_max_;
+    copt.iterations = chebyshev_steps_;
+    copt.project_constant = project_constant_;
+    linalg::chebyshev_solve(op, b, x, copt);
+    if (project_constant_) linalg::remove_mean(x);
+    linalg::copy(x, y);
+    return;
+  }
+
+  // Damped Jacobi on M x = b starting from x = D^{-1} b:
+  //   x <- x + D^{-1}(b - M x)
+  Vector x(n), residual(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = lvl.inv_diagonal[i] * b[i];
+  for (std::size_t step = 0; step < jacobi_steps_; ++step) {
+    lvl.matrix.apply(x, residual);
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] += lvl.inv_diagonal[i] * (b[i] - residual[i]);
+  }
+  if (project_constant_) linalg::remove_mean(x);
+  linalg::copy(x, y);
+}
+
+void InverseChain::apply(std::span<const double> b, std::span<double> y) const {
+  SPAR_CHECK(b.size() == dimension() && y.size() == dimension(),
+             "InverseChain::apply: size mismatch");
+  apply_level(0, b, y);
+}
+
+linalg::LinearOperator InverseChain::as_operator() const {
+  return {dimension(), [this](std::span<const double> b, std::span<double> y) {
+            apply(b, y);
+          }};
+}
+
+}  // namespace spar::solver

@@ -1,0 +1,101 @@
+// Approximate inverse chains (Peng-Spielman, Section 4 of the paper).
+//
+// Level i stores M_i = D_i - A_i; M_{i+1} approximates D_i - A_i D_i^{-1} A_i
+// with the graph part sparsified by PARALLELSPARSIFY whenever it exceeds the
+// size threshold (this is precisely where Theorem 5 plugs in: sparsify by a
+// chosen factor rho instead of all the way down, Section 4's refinement).
+// The chain applies
+//
+//   M_i^{-1} b ~ 1/2 [ D_i^{-1} b + (I + D_i^{-1} A_i) M_{i+1}^{-1} (I + A_i D_i^{-1}) b ]
+//
+// recursively; the last level is solved with damped Jacobi. The resulting
+// operator is symmetric PSD, so it serves directly as a PCG preconditioner
+// (how bench_solver uses it), and as a standalone solver via iterative
+// refinement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/operator.hpp"
+#include "solver/sdd_matrix.hpp"
+#include "sparsify/sparsify.hpp"
+
+namespace spar::solver {
+
+enum class TailSmoother {
+  kJacobi,     ///< damped Jacobi sweeps (no setup, gamma-rate convergence)
+  kChebyshev,  ///< Chebyshev semi-iteration with Lanczos-estimated bounds;
+               ///< sqrt(kappa)-rate, no inner products (PRAM-friendlier)
+};
+
+struct ChainOptions {
+  /// Per-level sparsifier accuracy. The theory needs eps = 1/O(log kappa);
+  /// wrapped in PCG a constant works and is what we default to.
+  double level_epsilon = 0.5;
+  /// Sparsification factor per level (Theorem 5's rho).
+  double rho = 4.0;
+  /// Bundle width forwarded to PARALLELSPARSIFY (0 = theoretical).
+  std::size_t t = 2;
+  /// Sparsify a level only when its graph part has more than
+  /// edge_factor * n edges (the "threshold of applicability" m').
+  double edge_factor = 4.0;
+  std::size_t max_levels = 24;
+  /// Stop when adjacency dominance gamma = max_i rowsum(A)/D drops below
+  /// this (Jacobi converges at rate gamma on the last level).
+  double gamma_stop = 0.25;
+  TailSmoother tail = TailSmoother::kJacobi;
+  std::size_t last_level_jacobi_steps = 12;
+  std::size_t last_level_chebyshev_steps = 16;
+  std::uint64_t seed = 99;
+  support::WorkCounter* work = nullptr;
+};
+
+struct ChainLevelInfo {
+  std::size_t edges_after_square = 0;  ///< 0 for the input level
+  std::size_t edges = 0;               ///< stored (possibly sparsified) edges
+  double gamma = 0.0;
+};
+
+class InverseChain {
+ public:
+  /// Builds the chain for `m`. Levels stop at gamma_stop, max_levels, or when
+  /// squaring stops changing anything.
+  InverseChain(SDDMatrix m, const ChainOptions& options);
+
+  std::size_t num_levels() const { return levels_.size(); }
+  std::size_t dimension() const { return levels_.front().matrix.dimension(); }
+  const std::vector<ChainLevelInfo>& level_info() const { return info_; }
+
+  /// Total stored nonzeros across the chain ("total size of the approximate
+  /// inverse chain" in Theorem 6's work bound).
+  std::size_t total_nnz() const;
+
+  /// y ~ M^{-1} b: one top-down chain application (symmetric PSD operator).
+  void apply(std::span<const double> b, std::span<double> y) const;
+
+  /// The chain as a LinearOperator (for preconditioned_cg).
+  linalg::LinearOperator as_operator() const;
+
+ private:
+  struct Level {
+    SDDMatrix matrix;
+    linalg::Vector inv_diagonal;
+    linalg::CSRMatrix adjacency;
+  };
+
+  void apply_level(std::size_t level, std::span<const double> b,
+                   std::span<double> y) const;
+  void apply_tail(std::span<const double> b, std::span<double> y) const;
+
+  std::vector<Level> levels_;
+  std::vector<ChainLevelInfo> info_;
+  TailSmoother tail_;
+  std::size_t jacobi_steps_;
+  std::size_t chebyshev_steps_;
+  double tail_lambda_min_ = 0.0;
+  double tail_lambda_max_ = 0.0;
+  bool project_constant_;
+};
+
+}  // namespace spar::solver

@@ -1,0 +1,86 @@
+// Geometric multigrid for 2D-grid ("image affinity", Remark 1) SDD systems.
+//
+// Remark 1 of the paper contrasts the Peng-Spielman algebra with multigrid:
+// on grid Laplacians, multigrid needs only constant-quality coarse
+// approximations per level (errors do not compound multiplicatively), which
+// is where its O(n)-work efficiency comes from. This module implements that
+// comparator so bench_solver can put the chain solver next to it on the
+// paper's own open-problem instance class.
+//
+// Construction is Galerkin: bilinear prolongation P between a rows x cols
+// grid and its 2x-coarsened grid, coarse operator A_c = P^T A P (computed
+// with the library's SpGEMM), weighted-Jacobi smoothing, V-cycles, CG on the
+// coarsest level. Arbitrary positive edge weights are supported -- the
+// Galerkin product, not rediscretization, builds the hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/operator.hpp"
+#include "solver/sdd_matrix.hpp"
+
+namespace spar::solver {
+
+struct MultigridOptions {
+  std::size_t pre_smooth = 2;
+  std::size_t post_smooth = 2;
+  double jacobi_weight = 2.0 / 3.0;
+  /// Stop coarsening when a side drops to this many points.
+  std::size_t min_side = 4;
+  double coarse_tolerance = 1e-10;
+  std::size_t coarse_max_iterations = 2000;
+};
+
+class GridMultigrid {
+ public:
+  /// `m` must be the SDD matrix of a rows x cols grid graph (vertex (r, c)
+  /// at index r * cols + c); weights arbitrary positive, slack optional.
+  GridMultigrid(const SDDMatrix& m, std::size_t rows, std::size_t cols,
+                const MultigridOptions& options = {});
+
+  std::size_t num_levels() const { return levels_.size(); }
+  std::size_t total_nnz() const;
+
+  /// One V-cycle applied to b (zero initial guess): y ~ A^{-1} b.
+  /// Symmetric positive (semi-)definite, so usable as a PCG preconditioner.
+  void v_cycle(std::span<const double> b, std::span<double> y) const;
+
+  linalg::LinearOperator as_operator() const;
+
+ private:
+  struct Level {
+    linalg::CSRMatrix a;           // operator at this level
+    linalg::Vector inv_diagonal;   // Jacobi
+    linalg::CSRMatrix prolongation;// from next-coarser level (absent on last)
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+  };
+
+  void cycle(std::size_t level, std::span<const double> b,
+             std::span<double> x) const;
+  void smooth(const Level& level, std::span<const double> b,
+              std::span<double> x, std::size_t sweeps) const;
+
+  std::vector<Level> levels_;
+  MultigridOptions options_;
+  bool project_constant_;
+};
+
+struct MultigridSolveReport {
+  linalg::Vector solution;
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+  std::size_t levels = 0;
+  std::size_t total_nnz = 0;
+};
+
+/// Convenience: solve a grid SDD system with multigrid-preconditioned CG.
+MultigridSolveReport multigrid_solve(const SDDMatrix& m, std::size_t rows,
+                                     std::size_t cols, std::span<const double> b,
+                                     double tolerance = 1e-8,
+                                     std::size_t max_iterations = 500,
+                                     const MultigridOptions& options = {});
+
+}  // namespace spar::solver

@@ -1,0 +1,59 @@
+#include "solver/sdd_matrix.hpp"
+
+#include "linalg/laplacian.hpp"
+#include "support/assert.hpp"
+
+namespace spar::solver {
+
+using graph::Graph;
+using linalg::CSRMatrix;
+using linalg::Vector;
+
+SDDMatrix::SDDMatrix(Graph laplacian_part)
+    : SDDMatrix(std::move(laplacian_part), Vector{}) {}
+
+SDDMatrix::SDDMatrix(Graph laplacian_part, Vector slack)
+    : graph_(std::move(laplacian_part)), slack_(std::move(slack)) {
+  if (slack_.empty()) slack_.assign(graph_.num_vertices(), 0.0);
+  SPAR_CHECK(slack_.size() == graph_.num_vertices(), "SDDMatrix: slack size mismatch");
+  for (double s : slack_) SPAR_CHECK(s >= 0.0, "SDDMatrix: slack must be nonnegative");
+  diagonal_ = linalg::degree_vector(graph_);
+  for (std::size_t i = 0; i < diagonal_.size(); ++i) diagonal_[i] += slack_[i];
+}
+
+bool SDDMatrix::is_singular() const {
+  for (double s : slack_)
+    if (s > 0.0) return false;
+  return true;
+}
+
+void SDDMatrix::apply(std::span<const double> x, std::span<double> y) const {
+  SPAR_CHECK(x.size() == dimension() && y.size() == dimension(),
+             "SDDMatrix::apply: size mismatch");
+  const linalg::LaplacianOperator lap(graph_);
+  lap.apply(x, y);
+  const auto n = static_cast<std::int64_t>(dimension());
+#pragma omp parallel for schedule(static) if (n > (1 << 14))
+  for (std::int64_t i = 0; i < n; ++i) y[i] += slack_[i] * x[i];
+}
+
+Vector SDDMatrix::apply(std::span<const double> x) const {
+  Vector y(dimension());
+  apply(x, y);
+  return y;
+}
+
+double SDDMatrix::quadratic_form(std::span<const double> x) const {
+  double q = linalg::laplacian_quadratic_form(graph_, x);
+  for (std::size_t i = 0; i < dimension(); ++i) q += slack_[i] * x[i] * x[i];
+  return q;
+}
+
+CSRMatrix SDDMatrix::adjacency_csr() const { return linalg::adjacency_matrix(graph_); }
+
+CSRMatrix SDDMatrix::to_csr() const {
+  CSRMatrix lap = linalg::laplacian_matrix(graph_);
+  return lap.add(CSRMatrix::diagonal(slack_));
+}
+
+}  // namespace spar::solver

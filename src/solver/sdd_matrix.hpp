@@ -1,0 +1,58 @@
+// SDD matrices as used by Section 4: M = D - A with A a nonnegative
+// adjacency matrix and D >= rowsum(A) diagonally. Equivalently
+// M = L(graph) + diag(slack) with slack >= 0. The class keeps the
+// decomposition explicit because the Peng-Spielman reduction sparsifies the
+// *graph part* and needs D and A separately for the chain identity
+//   M^{-1} = 1/2 [ D^{-1} + (I + D^{-1}A)(D - A D^{-1} A)^{-1}(I + A D^{-1}) ].
+#pragma once
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "linalg/csr_matrix.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace spar::solver {
+
+class SDDMatrix {
+ public:
+  SDDMatrix() = default;
+
+  /// Pure graph Laplacian (slack = 0; singular with nullspace span{1} per
+  /// connected component).
+  explicit SDDMatrix(graph::Graph laplacian_part);
+
+  /// L(graph) + diag(slack); slack entries must be >= 0.
+  SDDMatrix(graph::Graph laplacian_part, linalg::Vector slack);
+
+  std::size_t dimension() const { return graph_.num_vertices(); }
+  const graph::Graph& graph_part() const { return graph_; }
+  const linalg::Vector& slack() const { return slack_; }
+
+  /// Full diagonal D = weighted degree + slack.
+  const linalg::Vector& diagonal() const { return diagonal_; }
+
+  bool is_singular() const;  ///< true iff slack is identically zero
+
+  /// y = M x  (matrix-free; OpenMP over the edge list + diagonal).
+  void apply(std::span<const double> x, std::span<double> y) const;
+  linalg::Vector apply(std::span<const double> x) const;
+
+  /// x^T M x  (exact, nonnegative).
+  double quadratic_form(std::span<const double> x) const;
+
+  /// Adjacency part A as CSR (positive entries).
+  linalg::CSRMatrix adjacency_csr() const;
+
+  /// Explicit CSR of M itself (for tests / external tools).
+  linalg::CSRMatrix to_csr() const;
+
+  std::size_t nnz() const { return 2 * graph_.num_edges() + dimension(); }
+
+ private:
+  graph::Graph graph_;
+  linalg::Vector slack_;
+  linalg::Vector diagonal_;
+};
+
+}  // namespace spar::solver

@@ -1,0 +1,127 @@
+#include "solver/solver.hpp"
+
+#include "support/assert.hpp"
+
+namespace spar::solver {
+
+using linalg::LinearOperator;
+using linalg::Vector;
+
+namespace {
+
+LinearOperator matrix_operator(const SDDMatrix& m) {
+  return {m.dimension(), [&m](std::span<const double> x, std::span<double> y) {
+            m.apply(x, y);
+          }};
+}
+
+SolveReport finish(Vector x, const linalg::CGReport& cg) {
+  SolveReport report;
+  report.solution = std::move(x);
+  report.iterations = cg.iterations;
+  report.relative_residual = cg.relative_residual;
+  report.converged = cg.converged;
+  return report;
+}
+
+}  // namespace
+
+SolveReport solve_sdd(const SDDMatrix& m, std::span<const double> b,
+                      const SolveOptions& options) {
+  const InverseChain chain(m, options.chain);
+  return solve_sdd(m, chain, b, options);
+}
+
+SolveReport solve_sdd(const SDDMatrix& m, const InverseChain& chain,
+                      std::span<const double> b, const SolveOptions& options) {
+  SPAR_CHECK(b.size() == m.dimension(), "solve_sdd: rhs size mismatch");
+  Vector x(m.dimension(), 0.0);
+  linalg::CGOptions cg;
+  cg.tolerance = options.tolerance;
+  cg.max_iterations = options.max_iterations;
+  cg.project_constant = m.is_singular();
+  const auto report =
+      linalg::preconditioned_cg(matrix_operator(m), chain.as_operator(), b, x, cg);
+  SolveReport out = finish(std::move(x), report);
+  out.chain_levels = chain.num_levels();
+  out.chain_total_nnz = chain.total_nnz();
+  return out;
+}
+
+SolveReport solve_cg(const SDDMatrix& m, std::span<const double> b,
+                     const SolveOptions& options) {
+  SPAR_CHECK(b.size() == m.dimension(), "solve_cg: rhs size mismatch");
+  Vector x(m.dimension(), 0.0);
+  linalg::CGOptions cg;
+  cg.tolerance = options.tolerance;
+  cg.max_iterations = options.max_iterations;
+  cg.project_constant = m.is_singular();
+  const auto report = linalg::conjugate_gradient(matrix_operator(m), b, x, cg);
+  return finish(std::move(x), report);
+}
+
+SolveReport solve_jacobi_pcg(const SDDMatrix& m, std::span<const double> b,
+                             const SolveOptions& options) {
+  SPAR_CHECK(b.size() == m.dimension(), "solve_jacobi_pcg: rhs size mismatch");
+  const Vector& d = m.diagonal();
+  Vector inv_d(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    SPAR_CHECK(d[i] > 0.0, "solve_jacobi_pcg: zero diagonal");
+    inv_d[i] = 1.0 / d[i];
+  }
+  const LinearOperator jacobi{
+      m.dimension(), [&inv_d](std::span<const double> r, std::span<double> z) {
+        for (std::size_t i = 0; i < inv_d.size(); ++i) z[i] = inv_d[i] * r[i];
+      }};
+  Vector x(m.dimension(), 0.0);
+  linalg::CGOptions cg;
+  cg.tolerance = options.tolerance;
+  cg.max_iterations = options.max_iterations;
+  cg.project_constant = m.is_singular();
+  const auto report = linalg::preconditioned_cg(matrix_operator(m), jacobi, b, x, cg);
+  return finish(std::move(x), report);
+}
+
+SolveReport solve_chain_refinement(const SDDMatrix& m, const InverseChain& chain,
+                                   std::span<const double> b,
+                                   const SolveOptions& options) {
+  SPAR_CHECK(b.size() == m.dimension(), "solve_chain_refinement: rhs size mismatch");
+  const std::size_t n = m.dimension();
+  Vector rhs(b.begin(), b.end());
+  if (m.is_singular()) linalg::remove_mean(rhs);
+  const double b_norm = linalg::norm2(rhs);
+
+  SolveReport report;
+  report.solution.assign(n, 0.0);
+  report.chain_levels = chain.num_levels();
+  report.chain_total_nnz = chain.total_nnz();
+  if (b_norm == 0.0) {
+    report.converged = true;
+    return report;
+  }
+
+  Vector residual = rhs;
+  Vector correction(n);
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    report.relative_residual = linalg::norm2(residual) / b_norm;
+    if (report.relative_residual <= options.tolerance) {
+      report.converged = true;
+      return report;
+    }
+    chain.apply(residual, correction);
+    linalg::axpy(1.0, correction, report.solution);
+    m.apply(report.solution, residual);
+    for (std::size_t i = 0; i < n; ++i) residual[i] = rhs[i] - residual[i];
+    if (m.is_singular()) linalg::remove_mean(residual);
+    ++report.iterations;
+    // Divergence guard: a chain that is not a contraction (possible when the
+    // per-level eps is too loose) makes refinement blow up; bail out so
+    // callers can fall back to PCG.
+    if (report.relative_residual > 1e6) break;
+  }
+  report.relative_residual = linalg::norm2(residual) / b_norm;
+  report.converged = report.relative_residual <= options.tolerance;
+  return report;
+}
+
+}  // namespace spar::solver

@@ -1,0 +1,60 @@
+// Public SDD solve API (Theorem 6) plus the baselines bench_solver compares:
+//
+//  * solve_sdd            - chain-preconditioned CG (the paper's solver:
+//                           Peng-Spielman framework + PARALLELSPARSIFY chain)
+//  * solve_cg             - plain conjugate gradient
+//  * solve_jacobi_pcg     - diagonally preconditioned CG
+//
+// All three report iterations, matvec counts and achieved residuals so the
+// benches can compare total work at equal accuracy.
+#pragma once
+
+#include <optional>
+
+#include "linalg/cg.hpp"
+#include "solver/chain.hpp"
+
+namespace spar::solver {
+
+struct SolveOptions {
+  double tolerance = 1e-8;
+  std::size_t max_iterations = 20000;
+  ChainOptions chain;  ///< used by solve_sdd only
+};
+
+struct SolveReport {
+  linalg::Vector solution;
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+  std::size_t chain_levels = 0;     ///< solve_sdd only
+  std::size_t chain_total_nnz = 0;  ///< solve_sdd only
+};
+
+/// Chain-preconditioned CG. Works for nonsingular SDD matrices and for
+/// connected singular Laplacians (b is projected onto range(M)).
+SolveReport solve_sdd(const SDDMatrix& m, std::span<const double> b,
+                      const SolveOptions& options = {});
+
+/// Same, reusing a prebuilt chain (amortizes setup across right-hand sides).
+SolveReport solve_sdd(const SDDMatrix& m, const InverseChain& chain,
+                      std::span<const double> b, const SolveOptions& options = {});
+
+SolveReport solve_cg(const SDDMatrix& m, std::span<const double> b,
+                     const SolveOptions& options = {});
+
+SolveReport solve_jacobi_pcg(const SDDMatrix& m, std::span<const double> b,
+                             const SolveOptions& options = {});
+
+/// Standalone chain solve via iterative refinement (Richardson with the
+/// chain as approximate inverse):  x <- x + W(b - M x).  This is how
+/// Peng-Spielman (Theorem 4.5) consume the chain -- each sweep multiplies the
+/// error by the chain's approximation factor, so iterations = O(log(1/tau))
+/// when the chain is a constant-factor inverse. PCG (solve_sdd) is the
+/// robust practical wrapper; this entry point exists to exercise and measure
+/// the paper's own scheme.
+SolveReport solve_chain_refinement(const SDDMatrix& m, const InverseChain& chain,
+                                   std::span<const double> b,
+                                   const SolveOptions& options = {});
+
+}  // namespace spar::solver

@@ -1,0 +1,93 @@
+#include "spanner/bundle.hpp"
+
+#include "spanner/low_stretch_tree.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace spar::spanner {
+
+using graph::CSRGraph;
+using graph::EdgeId;
+using graph::Graph;
+
+Graph Bundle::bundle_graph(const Graph& g) const {
+  return g.filtered(in_bundle);
+}
+
+Graph Bundle::remainder_graph(const Graph& g) const {
+  std::vector<bool> keep(in_bundle.size());
+  for (std::size_t id = 0; id < in_bundle.size(); ++id) keep[id] = !in_bundle[id];
+  return g.filtered(keep);
+}
+
+Bundle t_bundle(const Graph& g, const BundleOptions& options) {
+  const CSRGraph csr(g);
+  return t_bundle(g, csr, options);
+}
+
+Bundle t_bundle(const Graph& g, const CSRGraph& csr, const BundleOptions& options) {
+  SPAR_CHECK(options.t >= 1, "t_bundle: t must be >= 1");
+  const std::size_t m = g.num_edges();
+
+  Bundle bundle;
+  bundle.in_bundle.assign(m, false);
+  std::vector<bool> alive(m, true);
+  std::size_t alive_count = m;
+
+  for (std::size_t i = 0; i < options.t && alive_count > 0; ++i) {
+    SpannerOptions sopt;
+    sopt.k = options.k;
+    sopt.seed = support::mix64(options.seed, i + 1);
+    sopt.work = options.work;
+    std::vector<EdgeId> ids = baswana_sen_spanner(csr, &alive, sopt);
+    for (EdgeId id : ids) {
+      SPAR_DASSERT(alive[id]);
+      alive[id] = false;
+      bundle.in_bundle[id] = true;
+    }
+    alive_count -= ids.size();
+    bundle.components.push_back(std::move(ids));
+  }
+
+  bundle.bundle_edge_count = m - alive_count;
+  bundle.off_bundle_edge_count = alive_count;
+  return bundle;
+}
+
+Bundle tree_bundle(const Graph& g, const BundleOptions& options) {
+  SPAR_CHECK(options.t >= 1, "tree_bundle: t must be >= 1");
+  const std::size_t m = g.num_edges();
+
+  Bundle bundle;
+  bundle.in_bundle.assign(m, false);
+  std::size_t alive_count = m;
+
+  for (std::size_t i = 0; i < options.t && alive_count > 0; ++i) {
+    // Materialize the remainder and keep a map back to original edge ids;
+    // trees are tiny (n-1 edges) so the copy is cheap next to the spanner path.
+    Graph rest(g.num_vertices());
+    std::vector<EdgeId> back_map;
+    back_map.reserve(alive_count);
+    const auto edges = g.edges();
+    for (EdgeId id = 0; id < m; ++id) {
+      if (bundle.in_bundle[id]) continue;
+      rest.add_edge(edges[id].u, edges[id].v, edges[id].w);
+      back_map.push_back(id);
+    }
+    LowStretchTreeOptions topt;
+    topt.seed = support::mix64(options.seed, i + 1);
+    std::vector<EdgeId> local_ids = low_stretch_tree_ids(rest, topt);
+    std::vector<EdgeId> ids;
+    ids.reserve(local_ids.size());
+    for (EdgeId local : local_ids) ids.push_back(back_map[local]);
+    for (EdgeId id : ids) bundle.in_bundle[id] = true;
+    alive_count -= ids.size();
+    bundle.components.push_back(std::move(ids));
+  }
+
+  bundle.bundle_edge_count = m - alive_count;
+  bundle.off_bundle_edge_count = alive_count;
+  return bundle;
+}
+
+}  // namespace spar::spanner

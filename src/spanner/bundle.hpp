@@ -1,0 +1,53 @@
+// t-bundle spanners (Definition 1 of the paper) and their parallel
+// construction (Corollary 2): H = H_1 + ... + H_t where H_i is a spanner of
+// G - (H_1 + ... + H_{i-1}). Lemma 1 then certifies, for every edge outside
+// the bundle, the leverage-score bound w_e * R_e[G] <= 2 log n / t, which is
+// what licenses uniform sampling in Algorithm 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
+#include "spanner/baswana_sen.hpp"
+
+namespace spar::spanner {
+
+struct BundleOptions {
+  std::size_t t = 1;            ///< number of spanner components
+  std::size_t k = 0;            ///< per-spanner k (0 = auto, ceil(log2 n))
+  std::uint64_t seed = 1;
+  support::WorkCounter* work = nullptr;
+};
+
+struct Bundle {
+  /// in_bundle[id] is true iff edge id of the input graph is in some H_i.
+  std::vector<bool> in_bundle;
+  /// Edge ids of each component H_i (empty components trail if the graph ran
+  /// out of edges before t spanners were peeled).
+  std::vector<std::vector<graph::EdgeId>> components;
+  std::size_t bundle_edge_count = 0;
+  std::size_t off_bundle_edge_count = 0;
+
+  /// The bundle as a graph over the same vertex set as `g`.
+  graph::Graph bundle_graph(const graph::Graph& g) const;
+  /// Edges of `g` outside the bundle.
+  graph::Graph remainder_graph(const graph::Graph& g) const;
+};
+
+/// Peels t spanners iteratively. The CSR adjacency is built once; component
+/// i runs on the alive mask left by components 1..i-1, exactly matching the
+/// "edges declare themselves out of the i-th iteration" parallel scheme of
+/// Section 3.1.
+Bundle t_bundle(const graph::Graph& g, const BundleOptions& options);
+
+/// Same, reusing a prebuilt CSR (the sparsifier's inner loop calls this).
+Bundle t_bundle(const graph::Graph& g, const graph::CSRGraph& csr,
+                const BundleOptions& options);
+
+/// Remark 2 variant: components are low-stretch spanning trees instead of
+/// spanners, shrinking the bundle from O(t n log n) to t(n-1) edges.
+Bundle tree_bundle(const graph::Graph& g, const BundleOptions& options);
+
+}  // namespace spar::spanner

@@ -1,0 +1,75 @@
+#include "spanner/stretch.hpp"
+
+#include <algorithm>
+
+#include "graph/csr.hpp"
+#include "graph/traversal.hpp"
+#include "support/assert.hpp"
+
+namespace spar::spanner {
+
+using graph::CSRGraph;
+using graph::Graph;
+using graph::Vertex;
+
+namespace {
+
+// Group query edges by source vertex so one Dijkstra per distinct source
+// covers all of them.
+StretchReport stretch_impl(const CSRGraph& csr_h, const std::vector<bool>* alive_h,
+                           const std::vector<graph::Edge>& queries) {
+  StretchReport report;
+  if (queries.empty()) return report;
+
+  std::vector<std::size_t> order(queries.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return queries[a].u < queries[b].u;
+  });
+
+  double total = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const Vertex source = queries[order[i]].u;
+    const auto dist = graph::dijkstra(csr_h, source, alive_h);
+    while (i < order.size() && queries[order[i]].u == source) {
+      const graph::Edge& e = queries[order[i]];
+      ++report.checked_edges;
+      if (dist[e.v] == graph::kInfDist) {
+        ++report.disconnected_pairs;
+      } else {
+        const double st = e.w * dist[e.v];
+        total += st;
+        report.max_stretch = std::max(report.max_stretch, st);
+      }
+      ++i;
+    }
+  }
+  const std::size_t connected = report.checked_edges - report.disconnected_pairs;
+  report.mean_stretch = connected > 0 ? total / static_cast<double>(connected) : 0.0;
+  return report;
+}
+
+}  // namespace
+
+StretchReport stretch_over_subgraph(const Graph& g,
+                                    const std::vector<bool>& in_subgraph) {
+  SPAR_CHECK(in_subgraph.size() == g.num_edges(),
+             "stretch_over_subgraph: mask size mismatch");
+  std::vector<graph::Edge> queries;
+  const auto edges = g.edges();
+  for (graph::EdgeId id = 0; id < edges.size(); ++id)
+    if (!in_subgraph[id]) queries.push_back(edges[id]);
+  const CSRGraph csr(g);
+  return stretch_impl(csr, &in_subgraph, queries);
+}
+
+StretchReport stretch_over_graph(const Graph& g, const Graph& h) {
+  SPAR_CHECK(g.num_vertices() == h.num_vertices(),
+             "stretch_over_graph: vertex count mismatch");
+  std::vector<graph::Edge> queries(g.edges().begin(), g.edges().end());
+  const CSRGraph csr_h(h);
+  return stretch_impl(csr_h, nullptr, queries);
+}
+
+}  // namespace spar::spanner

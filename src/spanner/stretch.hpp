@@ -1,0 +1,35 @@
+// Stretch verification (Section 2 definitions).
+//
+// st_H(e) = w_e * dist_H(u, v) with distances in resistance lengths 1/w.
+// These checks are O(n * m log n)-ish and exist for tests and benches, not
+// for the sparsification hot path.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace spar::graph {
+class CSRGraph;
+}
+
+namespace spar::spanner {
+
+struct StretchReport {
+  double max_stretch = 0.0;   ///< over edges NOT in the subgraph
+  double mean_stretch = 0.0;
+  std::size_t checked_edges = 0;
+  std::size_t disconnected_pairs = 0;  ///< edges with no path in the subgraph
+};
+
+/// Stretch of every edge of `g` outside `in_subgraph` over the subgraph
+/// defined by `in_subgraph` (edge-id mask). Edges inside the subgraph have
+/// stretch <= 1 by definition and are skipped.
+StretchReport stretch_over_subgraph(const graph::Graph& g,
+                                    const std::vector<bool>& in_subgraph);
+
+/// Stretch of *all* edges of `g` over a standalone subgraph H given as a
+/// Graph on the same vertex set (used for tree stretch, Remark 2).
+StretchReport stretch_over_graph(const graph::Graph& g, const graph::Graph& h);
+
+}  // namespace spar::spanner

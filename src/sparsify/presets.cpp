@@ -1,0 +1,32 @@
+#include "sparsify/presets.hpp"
+
+#include <cmath>
+
+namespace spar::sparsify {
+
+std::size_t theory_applicability_threshold(std::size_t n, double epsilon) {
+  const double log_n = std::log2(std::max<double>(n, 2.0));
+  return static_cast<std::size_t>(
+      std::ceil(double(theory_bundle_width(n, epsilon)) * double(n) * log_n));
+}
+
+SampleOptions make_sample_options(Preset preset, double epsilon, std::uint64_t seed,
+                                  std::size_t practical_t) {
+  SampleOptions opt;
+  opt.epsilon = epsilon;
+  opt.seed = seed;
+  opt.t = preset == Preset::kTheory ? 0 : practical_t;
+  return opt;
+}
+
+SparsifyOptions make_sparsify_options(Preset preset, double epsilon, double rho,
+                                      std::uint64_t seed, std::size_t practical_t) {
+  SparsifyOptions opt;
+  opt.epsilon = epsilon;
+  opt.rho = rho;
+  opt.seed = seed;
+  opt.t = preset == Preset::kTheory ? 0 : practical_t;
+  return opt;
+}
+
+}  // namespace spar::sparsify

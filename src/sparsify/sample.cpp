@@ -1,0 +1,60 @@
+#include "sparsify/sample.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace spar::sparsify {
+
+using graph::EdgeId;
+using graph::Graph;
+
+std::size_t theory_bundle_width(std::size_t n, double epsilon) {
+  SPAR_CHECK(epsilon > 0.0, "theory_bundle_width: epsilon must be positive");
+  const double log_n = std::log2(std::max<double>(n, 2.0));
+  return static_cast<std::size_t>(std::ceil(24.0 * log_n * log_n / (epsilon * epsilon)));
+}
+
+SampleResult parallel_sample(const Graph& g, const SampleOptions& options) {
+  SPAR_CHECK(options.epsilon > 0.0, "parallel_sample: epsilon must be positive");
+  SPAR_CHECK(options.keep_probability > 0.0 && options.keep_probability <= 1.0,
+             "parallel_sample: keep_probability must be in (0, 1]");
+
+  SampleResult result;
+  result.t_used = options.t != 0
+                      ? options.t
+                      : theory_bundle_width(g.num_vertices(), options.epsilon);
+
+  spanner::BundleOptions bopt;
+  bopt.t = result.t_used;
+  bopt.seed = support::mix64(options.seed, 0x6b756e646cULL);  // "bundl"
+  bopt.work = options.work;
+  const spanner::Bundle bundle = options.bundle_kind == BundleKind::kSpanner
+                                     ? spanner::t_bundle(g, bopt)
+                                     : spanner::tree_bundle(g, bopt);
+  result.bundle_edges = bundle.bundle_edge_count;
+  result.off_bundle_edges = bundle.off_bundle_edge_count;
+
+  // G~ := H, then one independent coin per off-bundle edge. The coin is a
+  // pure function of (seed, edge id): thread-count independent.
+  Graph sparsifier(g.num_vertices());
+  sparsifier.reserve(bundle.bundle_edge_count + bundle.off_bundle_edge_count / 2);
+  const auto edges = g.edges();
+  const double inv_p = 1.0 / options.keep_probability;
+  const std::uint64_t coin_seed = support::mix64(options.seed, 0x636f696eULL);  // "coin"
+  support::WorkScope work(options.work);
+  work.add(edges.size());
+  for (EdgeId id = 0; id < edges.size(); ++id) {
+    if (bundle.in_bundle[id]) {
+      sparsifier.add_edge(edges[id].u, edges[id].v, edges[id].w);
+    } else if (support::stream_uniform(coin_seed, id) < options.keep_probability) {
+      sparsifier.add_edge(edges[id].u, edges[id].v, edges[id].w * inv_p);
+      ++result.sampled_edges;
+    }
+  }
+  result.sparsifier = std::move(sparsifier);
+  return result;
+}
+
+}  // namespace spar::sparsify

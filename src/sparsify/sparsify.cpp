@@ -1,0 +1,57 @@
+#include "sparsify/sparsify.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace spar::sparsify {
+
+using graph::Graph;
+
+SparsifyResult parallel_sparsify(const Graph& g, const SparsifyOptions& options) {
+  SPAR_CHECK(options.epsilon > 0.0, "parallel_sparsify: epsilon must be positive");
+  SPAR_CHECK(options.rho >= 1.0, "parallel_sparsify: rho must be >= 1");
+
+  SparsifyResult result;
+  result.rounds_planned =
+      static_cast<std::size_t>(std::ceil(std::log2(std::max(options.rho, 1.0))));
+  if (result.rounds_planned == 0) {
+    result.sparsifier = g;
+    result.per_round_epsilon = options.epsilon;
+    return result;
+  }
+  result.per_round_epsilon =
+      options.epsilon / static_cast<double>(result.rounds_planned);
+
+  Graph current = g;
+  for (std::size_t round = 0; round < result.rounds_planned; ++round) {
+    SampleOptions sopt;
+    sopt.epsilon = result.per_round_epsilon;
+    sopt.t = options.t;
+    sopt.keep_probability = options.keep_probability;
+    sopt.bundle_kind = options.bundle_kind;
+    sopt.seed = support::mix64(options.seed, round + 1);
+    sopt.work = options.work;
+
+    SampleResult sample = parallel_sample(current, sopt);
+
+    RoundStats stats;
+    stats.edges_before = current.num_edges();
+    stats.edges_after = sample.sparsifier.num_edges();
+    stats.bundle_edges = sample.bundle_edges;
+    stats.sampled_edges = sample.sampled_edges;
+    stats.t_used = sample.t_used;
+    result.rounds.push_back(stats);
+
+    current = std::move(sample.sparsifier);
+    if (options.stop_when_saturated && stats.sampled_edges == 0 &&
+        stats.bundle_edges == stats.edges_before) {
+      break;  // bundle swallowed the whole graph; further rounds are identities
+    }
+  }
+  result.sparsifier = std::move(current);
+  return result;
+}
+
+}  // namespace spar::sparsify

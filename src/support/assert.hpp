@@ -1,0 +1,36 @@
+// Assertion macros for libspar.
+//
+// SPAR_ASSERT  - cheap invariant checks, active in all build types.
+// SPAR_DASSERT - hot-loop checks, active only when NDEBUG is not defined.
+// SPAR_CHECK   - user-facing precondition; throws spar::Error instead of aborting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace spar::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "SPAR_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace spar::support
+
+#define SPAR_ASSERT(expr)                                             \
+  do {                                                                \
+    if (!(expr)) ::spar::support::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SPAR_DASSERT(expr) ((void)0)
+#else
+#define SPAR_DASSERT(expr) SPAR_ASSERT(expr)
+#endif
+
+#define SPAR_CHECK(expr, msg)              \
+  do {                                     \
+    if (!(expr)) throw ::spar::Error(msg); \
+  } while (0)

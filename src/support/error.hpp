@@ -1,0 +1,15 @@
+// Exception type thrown at libspar API boundaries on precondition violations
+// (malformed input graphs, out-of-range parameters, I/O failures).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spar {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace spar

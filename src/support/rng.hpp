@@ -1,0 +1,107 @@
+// Deterministic random number generation for libspar.
+//
+// Two layers:
+//  * Rng          - xoshiro256** sequential generator, seeded via SplitMix64.
+//  * StreamRng    - counter-based splittable streams: stream(seed, index)
+//                   yields an independent generator per vertex/edge, so
+//                   randomized parallel algorithms produce results that do not
+//                   depend on the number of threads or iteration order.
+//
+// All randomized algorithms in libspar take an explicit 64-bit seed and derive
+// every random decision from these generators; there is no hidden global state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace spar::support {
+
+/// SplitMix64 step: the standard 64-bit mixer used for seeding and for
+/// counter-based streams. Passes BigCrush when used as a generator.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of two 64-bit values into one; used to derive per-index
+/// stream seeds as mix(seed, index).
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256** by Blackman & Vigna. Small, fast, high quality.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Unbiased via rejection (Lemire-style bound).
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) return 0;
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (uses two uniforms per pair, caches one).
+  double normal();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Independent generator for logical stream `index` under master `seed`.
+/// Same (seed, index) always yields the same stream regardless of threads.
+inline Rng stream_rng(std::uint64_t seed, std::uint64_t index) {
+  return Rng(mix64(seed, index));
+}
+
+/// One deterministic uniform in [0,1) for (seed, index) without constructing
+/// a generator; handy for per-edge coin flips in parallel loops.
+inline double stream_uniform(std::uint64_t seed, std::uint64_t index) {
+  return static_cast<double>(mix64(seed, index) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace spar::support

@@ -1,0 +1,93 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace spar::support {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+double percentile(std::span<const double> values, double p) {
+  SPAR_CHECK(!values.empty(), "percentile of empty span");
+  SPAR_CHECK(p >= 0.0 && p <= 1.0, "percentile p must be in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+PowerFit fit_power_law(std::span<const double> x, std::span<const double> y) {
+  SPAR_CHECK(x.size() == y.size(), "fit_power_law: size mismatch");
+  SPAR_CHECK(x.size() >= 2, "fit_power_law: need at least two points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    SPAR_CHECK(x[i] > 0.0 && y[i] > 0.0, "fit_power_law: data must be positive");
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  PowerFit fit;
+  if (std::abs(denom) < 1e-30) return fit;  // all x equal: undefined slope
+  fit.exponent = (n * sxy - sx * sy) / denom;
+  fit.coefficient = std::exp((sy - fit.exponent * sx) / n);
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = std::log(fit.coefficient) + fit.exponent * std::log(x[i]);
+    const double resid = std::log(y[i]) - pred;
+    ss_res += resid * resid;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+  SPAR_CHECK(x.size() == y.size() && x.size() >= 2, "correlation: bad sizes");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  const double cov = sxy - sx * sy / n;
+  const double vx = sxx - sx * sx / n;
+  const double vy = syy - sy * sy / n;
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+}  // namespace spar::support

@@ -1,0 +1,37 @@
+// Small statistics helpers used by tests and benches: summary statistics and
+// a least-squares power-law fit y = c * x^alpha for verifying asymptotic
+// shapes (e.g. "size grows like n log n" => alpha close to 1 on n/log-scaled
+// data).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace spar::support {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// p in [0,1]; linear interpolation between order statistics.
+double percentile(std::span<const double> values, double p);
+
+struct PowerFit {
+  double exponent = 0.0;   ///< alpha in y ~ c * x^alpha
+  double coefficient = 0.0;///< c
+  double r_squared = 0.0;  ///< goodness of fit in log-log space
+};
+
+/// Least-squares fit of log y against log x. Requires positive data.
+PowerFit fit_power_law(std::span<const double> x, std::span<const double> y);
+
+/// Pearson correlation of x and y.
+double correlation(std::span<const double> x, std::span<const double> y);
+
+}  // namespace spar::support

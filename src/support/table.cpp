@@ -1,0 +1,55 @@
+#include "support/table.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace spar::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::cell(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g", value);
+  return buf;
+}
+
+std::string Table::cell(std::uint64_t value) { return std::to_string(value); }
+std::string Table::cell(std::int64_t value) { return std::to_string(value); }
+
+std::string Table::to_string(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+
+  std::ostringstream out;
+  out << "== " << title << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < row.size() ? row[c] : std::string();
+      out << text;
+      for (std::size_t pad = text.size(); pad < widths[c] + 2; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::fputs(to_string(title).c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace spar::support

@@ -1,0 +1,34 @@
+// Console table printer. Every bench in bench/ emits its results through a
+// Table so the "regenerated table" for each experiment is a single aligned
+// block that can be diffed across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace spar::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; cells beyond the header count are dropped, missing cells
+  /// are rendered empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with %.4g, integers as-is.
+  static std::string cell(double value);
+  static std::string cell(std::uint64_t value);
+  static std::string cell(std::int64_t value);
+
+  /// Render with a title line, header row, separator, and aligned columns.
+  std::string to_string(const std::string& title) const;
+
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace spar::support

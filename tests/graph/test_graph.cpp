@@ -1,0 +1,140 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace spar::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, AddEdgeStoresEndpointsAndWeight) {
+  Graph g(3);
+  const EdgeId id = g.add_edge(0, 2, 2.5);
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(g.edge(id).u, 0u);
+  EXPECT_EQ(g.edge(id).v, 2u);
+  EXPECT_DOUBLE_EQ(g.edge(id).w, 2.5);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1, 1.0), Error);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3, 1.0), Error);
+}
+
+TEST(Graph, RejectsNonPositiveWeight) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), Error);
+  EXPECT_THROW(g.add_edge(0, 1, -2.0), Error);
+}
+
+TEST(Graph, ConstructorValidatesEdgeList) {
+  EXPECT_THROW(Graph(2, {{0, 0, 1.0}}), Error);
+  EXPECT_THROW(Graph(2, {{0, 5, 1.0}}), Error);
+  EXPECT_THROW(Graph(2, {{0, 1, -1.0}}), Error);
+  EXPECT_NO_THROW(Graph(2, {{0, 1, 1.0}}));
+}
+
+TEST(Graph, TotalWeightSums) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 4.0);
+}
+
+TEST(Graph, CoalescedMergesParallelEdges) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 2.0);  // same pair, reversed order
+  g.add_edge(1, 2, 3.0);
+  const Graph c = g.coalesced();
+  EXPECT_EQ(c.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(c.total_weight(), 6.0);
+}
+
+TEST(Graph, CoalescedPreservesLaplacianWeightPerPair) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 4.0);
+  const Graph c = g.coalesced();
+  ASSERT_EQ(c.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(c.edge(0).w, 5.0);
+}
+
+TEST(Graph, FilteredSelectsByMask) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 3.0);
+  const Graph f = g.filtered({true, false, true});
+  EXPECT_EQ(f.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(f.total_weight(), 4.0);
+}
+
+TEST(Graph, FilteredRejectsWrongMaskSize) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(g.filtered({true, false}), Error);
+}
+
+TEST(Graph, ScaledMultipliesWeights) {
+  Graph g(2);
+  g.add_edge(0, 1, 2.0);
+  const Graph s = g.scaled(3.0);
+  EXPECT_DOUBLE_EQ(s.edge(0).w, 6.0);
+}
+
+TEST(Graph, ScaledRejectsNonPositive) {
+  Graph g(2);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_THROW(g.scaled(0.0), Error);
+  EXPECT_THROW(g.scaled(-1.0), Error);
+}
+
+TEST(Graph, AdditionConcatenatesEdges) {
+  Graph a(3), b(3);
+  a.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 2.0);
+  const Graph sum = a + b;
+  EXPECT_EQ(sum.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(sum.total_weight(), 3.0);
+}
+
+TEST(Graph, AdditionRejectsVertexMismatch) {
+  Graph a(3), b(4);
+  EXPECT_THROW(a + b, Error);
+}
+
+TEST(Graph, SameEdgesIgnoresOrderAndOrientation) {
+  Graph a(3), b(3);
+  a.add_edge(0, 1, 1.0);
+  a.add_edge(1, 2, 2.0);
+  b.add_edge(2, 1, 2.0);
+  b.add_edge(1, 0, 1.0);
+  EXPECT_TRUE(a.same_edges(b));
+}
+
+TEST(Graph, SameEdgesDetectsWeightDifference) {
+  Graph a(2), b(2);
+  a.add_edge(0, 1, 1.0);
+  b.add_edge(0, 1, 2.0);
+  EXPECT_FALSE(a.same_edges(b));
+}
+
+TEST(EdgeResistance, IsInverseWeight) {
+  const Edge e{0, 1, 4.0};
+  EXPECT_DOUBLE_EQ(resistance(e), 0.25);
+}
+
+}  // namespace
+}  // namespace spar::graph

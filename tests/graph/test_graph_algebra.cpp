@@ -1,0 +1,93 @@
+// Algebraic identities from Section 2 of the paper, tested as properties:
+// L_{G1+G2} = L_{G1} + L_{G2}, L_{aG} = a L_G, quadratic-form linearity,
+// and the Laplacian ordering G2 <= G1 for subgraphs.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "linalg/laplacian.hpp"
+#include "support/rng.hpp"
+
+namespace spar::graph {
+namespace {
+
+using linalg::Vector;
+
+class GraphAlgebra : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Graph random_graph(std::uint64_t salt) const {
+    return randomize_weights(connected_erdos_renyi(40, 0.2, GetParam() + salt),
+                             1.5, GetParam() + salt + 100);
+  }
+
+  Vector random_vector(std::size_t n, std::uint64_t salt) const {
+    support::Rng rng(GetParam() * 31 + salt);
+    Vector x(n);
+    for (double& v : x) v = rng.normal();
+    return x;
+  }
+};
+
+TEST_P(GraphAlgebra, SumOfGraphsIsSumOfLaplacians) {
+  const Graph g1 = random_graph(1);
+  const Graph g2 = random_graph(2);
+  const Graph sum = g1 + g2;
+  const Vector x = random_vector(g1.num_vertices(), 7);
+  EXPECT_NEAR(linalg::laplacian_quadratic_form(sum, x),
+              linalg::laplacian_quadratic_form(g1, x) +
+                  linalg::laplacian_quadratic_form(g2, x),
+              1e-9);
+}
+
+TEST_P(GraphAlgebra, ScalingScalesQuadraticForm) {
+  const Graph g = random_graph(3);
+  const Vector x = random_vector(g.num_vertices(), 9);
+  const double a = 2.5;
+  EXPECT_NEAR(linalg::laplacian_quadratic_form(g.scaled(a), x),
+              a * linalg::laplacian_quadratic_form(g, x), 1e-9);
+}
+
+TEST_P(GraphAlgebra, CoalescingPreservesQuadraticForm) {
+  const Graph g1 = random_graph(4);
+  const Graph doubled = g1 + g1;  // parallel edges everywhere
+  const Graph merged = doubled.coalesced();
+  const Vector x = random_vector(g1.num_vertices(), 11);
+  EXPECT_NEAR(linalg::laplacian_quadratic_form(doubled, x),
+              linalg::laplacian_quadratic_form(merged, x), 1e-9);
+  EXPECT_NEAR(linalg::laplacian_quadratic_form(merged, x),
+              2.0 * linalg::laplacian_quadratic_form(g1, x), 1e-9);
+}
+
+TEST_P(GraphAlgebra, SubgraphOrderingHolds) {
+  // Dropping edges can only decrease the quadratic form: L_H <= L_G for
+  // every subgraph H (the paper's "G2 preceq G1" relation).
+  const Graph g = random_graph(5);
+  std::vector<bool> keep(g.num_edges(), true);
+  support::Rng rng(GetParam() * 17 + 5);
+  for (std::size_t id = 0; id < keep.size(); ++id) keep[id] = rng.bernoulli(0.6);
+  const Graph h = g.filtered(keep);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Vector x = random_vector(g.num_vertices(), 13 + trial);
+    EXPECT_LE(linalg::laplacian_quadratic_form(h, x),
+              linalg::laplacian_quadratic_form(g, x) + 1e-9);
+  }
+}
+
+TEST_P(GraphAlgebra, MatrixAndEdgeFormsAgreeOnSums) {
+  const Graph g1 = random_graph(6);
+  const Graph g2 = random_graph(7);
+  const auto l1 = linalg::laplacian_matrix(g1);
+  const auto l2 = linalg::laplacian_matrix(g2);
+  const auto lsum = linalg::laplacian_matrix(g1 + g2);
+  const Vector x = random_vector(g1.num_vertices(), 15);
+  const Vector via_sum = lsum.multiply(x);
+  Vector via_parts = l1.multiply(x);
+  const Vector y2 = l2.multiply(x);
+  for (std::size_t i = 0; i < x.size(); ++i) via_parts[i] += y2[i];
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(via_sum[i], via_parts[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphAlgebra, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace spar::graph

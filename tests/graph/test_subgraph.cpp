@@ -1,0 +1,95 @@
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "support/error.hpp"
+
+namespace spar::graph {
+namespace {
+
+TEST(InducedSubgraph, KeepsOnlyInternalEdges) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  g.add_edge(3, 4, 4.0);
+  const auto sub = induced_subgraph(g, {true, true, true, false, false});
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(sub.graph.total_weight(), 3.0);
+}
+
+TEST(InducedSubgraph, MapsAreInverse) {
+  const Graph g = connected_erdos_renyi(30, 0.2, 3);
+  std::vector<bool> keep(30, false);
+  for (Vertex v = 0; v < 30; v += 2) keep[v] = true;
+  const auto sub = induced_subgraph(g, keep);
+  for (Vertex nv = 0; nv < sub.graph.num_vertices(); ++nv) {
+    const Vertex old = sub.new_to_old[nv];
+    EXPECT_EQ(sub.old_to_new[old], nv);
+    EXPECT_TRUE(keep[old]);
+  }
+  for (Vertex old = 0; old < 30; ++old) {
+    if (!keep[old]) EXPECT_EQ(sub.old_to_new[old], kInvalidVertex);
+  }
+}
+
+TEST(InducedSubgraph, EmptyMaskGivesEmptyGraph) {
+  const Graph g = path_graph(4);
+  const auto sub = induced_subgraph(g, std::vector<bool>(4, false));
+  EXPECT_EQ(sub.graph.num_vertices(), 0u);
+  EXPECT_EQ(sub.graph.num_edges(), 0u);
+}
+
+TEST(InducedSubgraph, MaskSizeValidated) {
+  const Graph g = path_graph(4);
+  EXPECT_THROW(induced_subgraph(g, std::vector<bool>(3, true)), spar::Error);
+}
+
+TEST(LargestComponent, PicksBiggerSide) {
+  Graph g(7);
+  // Component A: 4 vertices; component B: 3 vertices.
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(4, 5, 1.0);
+  g.add_edge(5, 6, 1.0);
+  const auto sub = largest_component(g);
+  EXPECT_EQ(sub.graph.num_vertices(), 4u);
+  EXPECT_TRUE(is_connected(CSRGraph(sub.graph)));
+}
+
+TEST(LargestComponent, ConnectedGraphUnchanged) {
+  const Graph g = cycle_graph(10);
+  const auto sub = largest_component(g);
+  EXPECT_EQ(sub.graph.num_vertices(), g.num_vertices());
+  EXPECT_TRUE(sub.graph.same_edges(g));
+}
+
+TEST(LargestComponent, IsolatedVerticesDropped) {
+  Graph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const auto sub = largest_component(g);
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+}
+
+TEST(LargestComponent, EmptyGraph) {
+  const auto sub = largest_component(Graph(0));
+  EXPECT_EQ(sub.graph.num_vertices(), 0u);
+}
+
+TEST(LargestComponent, PreservesWeights) {
+  Graph g(5);
+  g.add_edge(0, 1, 2.5);
+  g.add_edge(1, 2, 3.5);
+  g.add_edge(3, 4, 1.0);
+  const auto sub = largest_component(g);
+  EXPECT_DOUBLE_EQ(sub.graph.total_weight(), 6.0);
+}
+
+}  // namespace
+}  // namespace spar::graph

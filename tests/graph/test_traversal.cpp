@@ -1,0 +1,101 @@
+#include "graph/traversal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace spar::graph {
+namespace {
+
+TEST(BfsHops, PathDistances) {
+  const CSRGraph csr(path_graph(5));
+  const auto hops = bfs_hops(csr, 0);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(hops[v], v);
+}
+
+TEST(BfsHops, UnreachableMarked) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const auto hops = bfs_hops(CSRGraph(g), 0);
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[2], static_cast<std::size_t>(-1));
+}
+
+TEST(ConnectedComponents, CountsAndLabels) {
+  Graph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(3, 4, 1.0);
+  Vertex count = 0;
+  const auto comp = connected_components(CSRGraph(g), &count);
+  EXPECT_EQ(count, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[3], comp[5]);
+}
+
+TEST(IsConnected, PositiveAndNegativeCases) {
+  EXPECT_TRUE(is_connected(CSRGraph(cycle_graph(5))));
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_FALSE(is_connected(CSRGraph(g)));
+}
+
+TEST(IsConnected, EmptyGraphIsConnected) {
+  EXPECT_TRUE(is_connected(CSRGraph(Graph(0))));
+}
+
+TEST(Dijkstra, UsesResistanceLengths) {
+  // Weight 4 edge = resistance 0.25.
+  Graph g(3);
+  g.add_edge(0, 1, 4.0);
+  g.add_edge(1, 2, 2.0);
+  const auto dist = dijkstra(CSRGraph(g), 0);
+  EXPECT_DOUBLE_EQ(dist[1], 0.25);
+  EXPECT_DOUBLE_EQ(dist[2], 0.75);
+}
+
+TEST(Dijkstra, PrefersLighterMultiHopPath) {
+  Graph g(3);
+  g.add_edge(0, 2, 0.1);   // resistance 10 direct
+  g.add_edge(0, 1, 1.0);   // resistance 1 + 1 = 2 via middle
+  g.add_edge(1, 2, 1.0);
+  const auto dist = dijkstra(CSRGraph(g), 0);
+  EXPECT_DOUBLE_EQ(dist[2], 2.0);
+}
+
+TEST(Dijkstra, RespectsAliveMask) {
+  Graph g(3);
+  const EdgeId direct = g.add_edge(0, 2, 1.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  std::vector<bool> alive(g.num_edges(), true);
+  alive[direct] = false;
+  const auto dist = dijkstra(CSRGraph(g), 0, &alive);
+  EXPECT_DOUBLE_EQ(dist[2], 2.0);  // forced through the middle
+}
+
+TEST(Dijkstra, CutoffLeavesFarVerticesInfinite) {
+  const auto dist = dijkstra(CSRGraph(path_graph(10)), 0, nullptr, 3.5);
+  EXPECT_DOUBLE_EQ(dist[3], 3.0);
+  EXPECT_EQ(dist[9], kInfDist);
+}
+
+TEST(Dijkstra, DisconnectedVertexIsInfinite) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const auto dist = dijkstra(CSRGraph(g), 0);
+  EXPECT_EQ(dist[2], kInfDist);
+}
+
+TEST(Dijkstra, GridMatchesManhattanOnUnitWeights) {
+  const CSRGraph csr(grid2d(4, 4));
+  const auto dist = dijkstra(csr, 0);
+  // Vertex (r, c) = 4r + c has distance r + c on a unit grid.
+  for (Vertex r = 0; r < 4; ++r)
+    for (Vertex c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(dist[4 * r + c], r + c);
+}
+
+}  // namespace
+}  // namespace spar::graph

@@ -1,0 +1,53 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spar::graph {
+namespace {
+
+TEST(UnionFind, SingletonsInitiallyDisjoint) {
+  UnionFind uf(4);
+  EXPECT_FALSE(uf.connected(0, 1));
+  EXPECT_TRUE(uf.connected(2, 2));
+}
+
+TEST(UnionFind, UniteConnects) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.connected(0, 1));
+}
+
+TEST(UnionFind, UniteReturnsFalseWhenAlreadyJoined) {
+  UnionFind uf(4);
+  uf.unite(0, 1);
+  EXPECT_FALSE(uf.unite(1, 0));
+}
+
+TEST(UnionFind, TransitiveConnectivity) {
+  UnionFind uf(5);
+  uf.unite(0, 1);
+  uf.unite(1, 2);
+  uf.unite(3, 4);
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_FALSE(uf.connected(2, 3));
+}
+
+TEST(UnionFind, ComponentSizeTracksMerges) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(0, 2);
+  EXPECT_EQ(uf.component_size(3), 4u);
+  EXPECT_EQ(uf.component_size(5), 1u);
+}
+
+TEST(UnionFind, ChainOfUnionsFullyConnects) {
+  const std::size_t n = 1000;
+  UnionFind uf(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) uf.unite(i, i + 1);
+  EXPECT_TRUE(uf.connected(0, n - 1));
+  EXPECT_EQ(uf.component_size(0), n);
+}
+
+}  // namespace
+}  // namespace spar::graph

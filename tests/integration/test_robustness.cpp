@@ -1,0 +1,145 @@
+// Numerical robustness: the full pipeline on extreme weight ranges, tiny
+// graphs, and adversarial shapes. These are failure-injection style tests --
+// inputs chosen to break naive implementations (overflow of resistance sums,
+// loss of precision in certificates, degenerate clusterings).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "solver/solver.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/stretch.hpp"
+#include "sparsify/sparsify.hpp"
+#include "sparsify/spectral_cert.hpp"
+#include "support/rng.hpp"
+
+namespace spar {
+namespace {
+
+using graph::Graph;
+
+TEST(Robustness, SpannerWithSixOrderWeightRange) {
+  // Weights spanning 1e-3..1e3: resistance-ordering must stay exact.
+  const Graph g =
+      graph::randomize_weights(graph::connected_erdos_renyi(150, 0.1, 3),
+                               std::log(1e3), 7);
+  const std::size_t k = spanner::auto_spanner_k(g.num_vertices());
+  const graph::CSRGraph csr(g);
+  const auto ids = spanner::baswana_sen_spanner(csr, nullptr, {.k = 0, .seed = 5});
+  std::vector<bool> mask(g.num_edges(), false);
+  for (auto id : ids) mask[id] = true;
+  const auto report = spanner::stretch_over_subgraph(g, mask);
+  EXPECT_EQ(report.disconnected_pairs, 0u);
+  EXPECT_LE(report.max_stretch, double(2 * k - 1) * (1 + 1e-9));
+}
+
+TEST(Robustness, SparsifyExtremeWeights) {
+  const Graph g =
+      graph::randomize_weights(graph::complete_graph(50), std::log(1e3), 11);
+  sparsify::SparsifyOptions opt;
+  opt.rho = 4.0;
+  opt.t = 3;
+  opt.seed = 13;
+  const auto result = sparsify::parallel_sparsify(g, opt);
+  const auto bounds = sparsify::exact_relative_bounds(g, result.sparsifier);
+  EXPECT_GT(bounds.lower, 0.0);
+  EXPECT_TRUE(std::isfinite(bounds.upper));
+  EXPECT_LT(bounds.upper, 4.0);
+}
+
+TEST(Robustness, TinyGraphsThroughEveryEntryPoint) {
+  for (graph::Vertex n : {2u, 3u, 4u}) {
+    const Graph g = graph::complete_graph(n);
+    // Spanner.
+    EXPECT_NO_THROW(spanner::spanner(g, {.k = 0, .seed = 1}));
+    // Sample + sparsify.
+    sparsify::SampleOptions sopt;
+    sopt.t = 1;
+    EXPECT_NO_THROW(sparsify::parallel_sample(g, sopt));
+    sparsify::SparsifyOptions spopt;
+    spopt.rho = 4.0;
+    spopt.t = 1;
+    EXPECT_NO_THROW(sparsify::parallel_sparsify(g, spopt));
+    // Certificate.
+    const auto bounds = sparsify::exact_relative_bounds(g, g);
+    EXPECT_NEAR(bounds.lower, 1.0, 1e-8);
+  }
+}
+
+TEST(Robustness, SingleEdgeGraph) {
+  Graph g(2);
+  g.add_edge(0, 1, 3.0);
+  const Graph h = spanner::spanner(g, {.k = 0, .seed = 1});
+  EXPECT_EQ(h.num_edges(), 1u);
+  sparsify::SampleOptions opt;
+  opt.t = 1;
+  const auto result = sparsify::parallel_sample(g, opt);
+  EXPECT_TRUE(result.sparsifier.same_edges(g));
+}
+
+TEST(Robustness, SolverOnStiffWeights) {
+  // Grid with weights spanning 4 orders of magnitude: kappa is large; the
+  // chain-PCG must still converge.
+  const Graph g =
+      graph::randomize_weights(graph::grid2d(12, 12), std::log(1e2), 17);
+  const solver::SDDMatrix m{Graph(g)};
+  support::Rng rng(19);
+  linalg::Vector b(m.dimension());
+  for (double& v : b) v = rng.normal();
+  linalg::remove_mean(b);
+  solver::SolveOptions opt;
+  opt.chain.max_levels = 10;
+  const auto report = solver::solve_sdd(m, b, opt);
+  EXPECT_TRUE(report.converged);
+}
+
+TEST(Robustness, StarGraphSpannersAndSampling) {
+  // Max-degree stress: star graphs exercise the per-vertex grouping paths.
+  const Graph g = graph::star_graph(500);
+  const Graph h = spanner::spanner(g, {.k = 0, .seed = 3});
+  EXPECT_EQ(h.num_edges(), g.num_edges());  // a tree: all kept
+  sparsify::SampleOptions opt;
+  opt.t = 1;
+  const auto result = sparsify::parallel_sample(g, opt);
+  EXPECT_TRUE(result.sparsifier.same_edges(g));
+}
+
+TEST(Robustness, HeavyParallelEdgesCoalesceConsistently) {
+  Graph g(3);
+  for (int i = 0; i < 50; ++i) {
+    g.add_edge(0, 1, 1e-3);
+    g.add_edge(1, 2, 1e3);
+  }
+  const Graph c = g.coalesced();
+  EXPECT_EQ(c.num_edges(), 2u);
+  EXPECT_NEAR(c.total_weight(), 50 * (1e-3 + 1e3), 1e-6);
+  // Certificates treat the multigraph and its coalesced form identically.
+  const auto bounds = sparsify::exact_relative_bounds(c, g);
+  EXPECT_NEAR(bounds.lower, 1.0, 1e-8);
+  EXPECT_NEAR(bounds.upper, 1.0, 1e-8);
+}
+
+TEST(Robustness, CertifierHandlesNearIdenticalGraphs) {
+  // eps ~ 1e-12 regime: certificate must not report negative deviations.
+  const Graph g = graph::connected_erdos_renyi(40, 0.3, 23);
+  Graph h(g.num_vertices());
+  for (const auto& e : g.edges()) h.add_edge(e.u, e.v, e.w * (1.0 + 1e-12));
+  const auto bounds = sparsify::exact_relative_bounds(g, h);
+  EXPECT_GE(bounds.upper, bounds.lower);
+  EXPECT_NEAR(bounds.epsilon(), 0.0, 1e-6);
+}
+
+TEST(Robustness, DijkstraOnChainOfExtremeResistances) {
+  Graph g(4);
+  g.add_edge(0, 1, 1e-9);  // resistance 1e9
+  g.add_edge(1, 2, 1e9);   // resistance 1e-9
+  g.add_edge(2, 3, 1.0);
+  const auto dist = graph::dijkstra(graph::CSRGraph(g), 0);
+  EXPECT_NEAR(dist[3], 1e9 + 1e-9 + 1.0, 1.0);
+}
+
+}  // namespace
+}  // namespace spar

@@ -1,0 +1,105 @@
+// Statistical properties of the randomized algorithms, averaged over many
+// seeds: unbiasedness of the samplers (E[L_H] = L_G edge-wise) and
+// concentration of the certified approximation quality. These complement the
+// single-seed property tests: a sampler can pass per-seed envelopes while
+// being subtly biased, which only multi-seed averages expose.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "sparsify/baselines.hpp"
+#include "sparsify/sample.hpp"
+#include "sparsify/spectral_cert.hpp"
+#include "support/stats.hpp"
+
+namespace spar {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+
+TEST(SamplerStatistics, ParallelSampleIsUnbiasedPerEdge) {
+  // Average the sparsifier's per-edge weight over seeds: for every edge the
+  // mean must converge to the original weight (bundle edges keep w; sampled
+  // edges contribute 4w * 1/4 in expectation).
+  const Graph g = graph::complete_graph(40);
+  const int trials = 64;
+  std::vector<double> mean_weight(g.num_edges(), 0.0);
+  for (int trial = 0; trial < trials; ++trial) {
+    sparsify::SampleOptions opt;
+    opt.t = 1;
+    opt.seed = 1000 + trial;
+    const auto result = sparsify::parallel_sample(g, opt);
+    // Re-accumulate by endpoint pair (edge ids differ between G and G~).
+    for (const auto& e : result.sparsifier.edges()) {
+      for (EdgeId id = 0; id < g.num_edges(); ++id) {
+        const auto& orig = g.edge(id);
+        if ((orig.u == e.u && orig.v == e.v) || (orig.u == e.v && orig.v == e.u)) {
+          mean_weight[id] += e.w / trials;
+          break;
+        }
+      }
+    }
+  }
+  // Per-edge standard error ~ w*sqrt(3)/sqrt(trials) ~ 0.22 for off-bundle;
+  // check the global average tightly and each edge loosely.
+  double total = 0.0;
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    EXPECT_NEAR(mean_weight[id], g.edge(id).w, 1.0) << "edge " << id;
+    total += mean_weight[id];
+  }
+  EXPECT_NEAR(total, g.total_weight(), 0.03 * g.total_weight());
+}
+
+TEST(SamplerStatistics, UniformSparsifyUnbiasedTotalWeight) {
+  const Graph g = graph::complete_graph(60);
+  const int trials = 48;
+  std::vector<double> totals;
+  for (int trial = 0; trial < trials; ++trial)
+    totals.push_back(sparsify::uniform_sparsify(g, 0.25, 2000 + trial).total_weight());
+  const auto summary = support::summarize(totals);
+  EXPECT_NEAR(summary.mean, g.total_weight(), 0.03 * g.total_weight());
+}
+
+TEST(SamplerStatistics, CertifiedEpsilonConcentrates) {
+  // Over seeds, the certified eps of PARALLELSAMPLE should concentrate: its
+  // spread (stddev) stays well below its mean, and no seed escapes (1 +- 1).
+  const Graph g = graph::randomize_weights(graph::complete_graph(48), 0.5, 3);
+  std::vector<double> epsilons;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    sparsify::SampleOptions opt;
+    opt.t = 3;
+    opt.seed = seed;
+    const auto result = sparsify::parallel_sample(g, opt);
+    const auto bounds = sparsify::exact_relative_bounds(g, result.sparsifier);
+    epsilons.push_back(bounds.epsilon());
+    EXPECT_LT(bounds.epsilon(), 1.0) << "seed " << seed;
+  }
+  const auto summary = support::summarize(epsilons);
+  EXPECT_LT(summary.stddev, 0.5 * summary.mean);
+}
+
+TEST(SamplerStatistics, SampledCountBinomialConcentration) {
+  // Number of kept off-bundle edges is Binomial(off, 1/4): the empirical
+  // mean over seeds must sit within a few standard errors.
+  const Graph g = graph::complete_graph(80);
+  const int trials = 32;
+  double mean_kept = 0.0;
+  std::size_t off_edges = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    sparsify::SampleOptions opt;
+    opt.t = 1;
+    opt.seed = 3000 + trial;
+    const auto result = sparsify::parallel_sample(g, opt);
+    mean_kept += double(result.sampled_edges) / trials;
+    off_edges = result.off_bundle_edges;  // varies slightly per seed; fine
+  }
+  const double expected = 0.25 * double(off_edges);
+  const double stderr_mean =
+      std::sqrt(0.25 * 0.75 * double(off_edges) / trials);
+  EXPECT_NEAR(mean_kept, expected, 6.0 * stderr_mean + 30.0);
+}
+
+}  // namespace
+}  // namespace spar

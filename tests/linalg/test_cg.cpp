@@ -1,0 +1,166 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "linalg/laplacian.hpp"
+#include "support/rng.hpp"
+
+namespace spar::linalg {
+namespace {
+
+LinearOperator spd_operator(const CSRMatrix& m) {
+  return {m.rows(), [&m](std::span<const double> x, std::span<double> y) {
+            m.multiply(x, y);
+          }};
+}
+
+TEST(ConjugateGradient, SolvesDiagonalSystem) {
+  const CSRMatrix m = CSRMatrix::diagonal(Vector{2.0, 4.0, 8.0});
+  Vector x(3, 0.0);
+  const Vector b = {2.0, 4.0, 8.0};
+  const auto report = conjugate_gradient(spd_operator(m), b, x);
+  EXPECT_TRUE(report.converged);
+  for (double xi : x) EXPECT_NEAR(xi, 1.0, 1e-7);
+}
+
+TEST(ConjugateGradient, ZeroRhsGivesZero) {
+  const CSRMatrix m = CSRMatrix::identity(3);
+  Vector x = {5.0, 5.0, 5.0};
+  const auto report = conjugate_gradient(spd_operator(m), Vector(3, 0.0), x);
+  EXPECT_TRUE(report.converged);
+  for (double xi : x) EXPECT_DOUBLE_EQ(xi, 0.0);
+}
+
+TEST(ConjugateGradient, ExactInAtMostNIterations) {
+  // CG terminates in <= n steps in exact arithmetic; small system, tight tol.
+  support::Rng rng(3);
+  const std::size_t n = 10;
+  std::vector<Triplet> t;
+  for (std::uint32_t i = 0; i < n; ++i) t.push_back({i, i, 2.0 + rng.uniform()});
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    const double v = 0.3 * rng.uniform();
+    t.push_back({i, i + 1, v});
+    t.push_back({static_cast<std::uint32_t>(i + 1), i, v});
+  }
+  const CSRMatrix m = CSRMatrix::from_triplets(n, n, t);
+  Vector b(n);
+  for (double& v : b) v = rng.normal();
+  Vector x(n, 0.0);
+  CGOptions opt;
+  opt.tolerance = 1e-12;
+  const auto report = conjugate_gradient(spd_operator(m), b, x, opt);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LE(report.iterations, n + 1);
+}
+
+TEST(ConjugateGradient, SingularLaplacianWithProjection) {
+  const auto g = graph::connected_erdos_renyi(80, 0.1, 5);
+  const LaplacianOperator lap(g);
+  const LinearOperator op{g.num_vertices(),
+                          [&lap](std::span<const double> x, std::span<double> y) {
+                            lap.apply(x, y);
+                          }};
+  support::Rng rng(7);
+  Vector b(g.num_vertices());
+  for (double& v : b) v = rng.normal();
+  remove_mean(b);
+  Vector x(g.num_vertices(), 0.0);
+  CGOptions opt;
+  opt.project_constant = true;
+  const auto report = conjugate_gradient(op, b, x, opt);
+  EXPECT_TRUE(report.converged);
+  // Verify L x = b on the range.
+  const Vector back = lap.apply(x);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(back[i], b[i], 1e-5);
+  // Solution is mean-free (pseudoinverse solution).
+  EXPECT_NEAR(mean(x), 0.0, 1e-10);
+}
+
+TEST(ConjugateGradient, WarmStartReducesIterations) {
+  const auto g = graph::grid2d(15, 15);
+  const CSRMatrix l = laplacian_matrix(g);
+  // Shift to SPD: L + I.
+  const CSRMatrix m = l.add(CSRMatrix::identity(g.num_vertices()));
+  support::Rng rng(9);
+  Vector b(g.num_vertices());
+  for (double& v : b) v = rng.normal();
+
+  Vector cold(g.num_vertices(), 0.0);
+  const auto cold_rep = conjugate_gradient(spd_operator(m), b, cold);
+  Vector warm = cold;  // exact solution as initial guess
+  const auto warm_rep = conjugate_gradient(spd_operator(m), b, warm);
+  EXPECT_TRUE(cold_rep.converged);
+  EXPECT_LE(warm_rep.iterations, 1u);
+}
+
+TEST(ConjugateGradient, MaxIterationsRespected) {
+  const auto g = graph::grid2d(30, 30);
+  const CSRMatrix l = laplacian_matrix(g);
+  const CSRMatrix m = l.add(CSRMatrix::identity(g.num_vertices()), 1e-9);
+  support::Rng rng(11);
+  Vector b(g.num_vertices());
+  for (double& v : b) v = rng.normal();
+  Vector x(g.num_vertices(), 0.0);
+  CGOptions opt;
+  opt.max_iterations = 3;
+  opt.tolerance = 1e-15;
+  const auto report = conjugate_gradient(spd_operator(m), b, x, opt);
+  EXPECT_FALSE(report.converged);
+  EXPECT_LE(report.iterations, 3u);
+}
+
+TEST(PreconditionedCg, ExactPreconditionerConvergesInstantly) {
+  const CSRMatrix m = CSRMatrix::diagonal(Vector{2.0, 5.0, 10.0});
+  const Vector inv_d = {0.5, 0.2, 0.1};
+  const LinearOperator precond{3, [&inv_d](std::span<const double> r,
+                                           std::span<double> z) {
+                                 for (std::size_t i = 0; i < 3; ++i)
+                                   z[i] = inv_d[i] * r[i];
+                               }};
+  Vector x(3, 0.0);
+  const Vector b = {1.0, 1.0, 1.0};
+  const auto report = preconditioned_cg(spd_operator(m), precond, b, x);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LE(report.iterations, 2u);
+  EXPECT_NEAR(x[2], 0.1, 1e-9);
+}
+
+TEST(PreconditionedCg, JacobiBeatsPlainOnIllConditioned) {
+  // Strongly varying diagonal: Jacobi rescaling helps a lot.
+  const std::size_t n = 200;
+  std::vector<Triplet> t;
+  for (std::uint32_t i = 0; i < n; ++i)
+    t.push_back({i, i, std::pow(10.0, double(i % 7))});
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    t.push_back({i, i + 1, 0.1});
+    t.push_back({static_cast<std::uint32_t>(i + 1), i, 0.1});
+  }
+  const CSRMatrix m = CSRMatrix::from_triplets(n, n, t);
+  const Vector d = m.diagonal_vector();
+  const LinearOperator precond{n, [&d](std::span<const double> r, std::span<double> z) {
+                                 for (std::size_t i = 0; i < d.size(); ++i)
+                                   z[i] = r[i] / d[i];
+                               }};
+  support::Rng rng(13);
+  Vector b(n);
+  for (double& v : b) v = rng.normal();
+
+  Vector x1(n, 0.0), x2(n, 0.0);
+  const auto plain = conjugate_gradient(spd_operator(m), b, x1);
+  const auto pcg = preconditioned_cg(spd_operator(m), precond, b, x2);
+  EXPECT_TRUE(pcg.converged);
+  EXPECT_LT(pcg.iterations, plain.iterations);
+}
+
+TEST(ConjugateGradient, ReportsMatvecCount) {
+  const CSRMatrix m = CSRMatrix::identity(4);
+  Vector x(4, 0.0);
+  const auto report = conjugate_gradient(spd_operator(m), Vector{1, 2, 3, 4}, x);
+  EXPECT_GE(report.matvec_count, report.iterations);
+}
+
+}  // namespace
+}  // namespace spar::linalg

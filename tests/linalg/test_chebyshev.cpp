@@ -1,0 +1,134 @@
+#include "linalg/chebyshev.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/eigen_iterative.hpp"
+#include "linalg/laplacian.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace spar::linalg {
+namespace {
+
+LinearOperator csr_operator(const CSRMatrix& m) {
+  return {m.rows(), [&m](std::span<const double> x, std::span<double> y) {
+            m.multiply(x, y);
+          }};
+}
+
+TEST(Chebyshev, SolvesDiagonalWithExactBounds) {
+  const CSRMatrix m = CSRMatrix::diagonal(Vector{1.0, 2.0, 4.0});
+  Vector x(3, 0.0);
+  const Vector b = {1.0, 2.0, 4.0};
+  ChebyshevOptions opt;
+  opt.lambda_min = 1.0;
+  opt.lambda_max = 4.0;
+  opt.iterations = 40;
+  const auto report = chebyshev_solve(csr_operator(m), b, x, opt);
+  EXPECT_LT(report.relative_residual, 1e-8);
+  for (double xi : x) EXPECT_NEAR(xi, 1.0, 1e-7);
+}
+
+TEST(Chebyshev, ZeroRhsReturnsZero) {
+  const CSRMatrix m = CSRMatrix::identity(4);
+  Vector x = {1, 2, 3, 4};
+  ChebyshevOptions opt;
+  opt.lambda_min = 1.0;
+  opt.lambda_max = 1.0;
+  chebyshev_solve(csr_operator(m), Vector(4, 0.0), x, opt);
+  for (double xi : x) EXPECT_DOUBLE_EQ(xi, 0.0);
+}
+
+TEST(Chebyshev, RejectsBadBounds) {
+  const CSRMatrix m = CSRMatrix::identity(2);
+  Vector x(2, 0.0);
+  const Vector b = {1.0, 1.0};
+  ChebyshevOptions opt;
+  opt.lambda_min = 0.0;
+  opt.lambda_max = 1.0;
+  EXPECT_THROW(chebyshev_solve(csr_operator(m), b, x, opt), spar::Error);
+  opt.lambda_min = 2.0;
+  EXPECT_THROW(chebyshev_solve(csr_operator(m), b, x, opt), spar::Error);
+}
+
+TEST(Chebyshev, ConvergesAtTheoreticalRate) {
+  // kappa = 4 => factor (2-1)/(2+1) = 1/3 per iteration; after 20 iterations
+  // error <= (1/3)^20 ~ 3e-10 of the initial.
+  const CSRMatrix m = CSRMatrix::diagonal(Vector{1.0, 2.0, 3.0, 4.0});
+  Vector x(4, 0.0);
+  const Vector b = {1.0, 1.0, 1.0, 1.0};
+  ChebyshevOptions opt;
+  opt.lambda_min = 1.0;
+  opt.lambda_max = 4.0;
+  opt.iterations = 20;
+  const auto report = chebyshev_solve(csr_operator(m), b, x, opt);
+  EXPECT_LT(report.relative_residual, 1e-7);
+}
+
+TEST(Chebyshev, SingularLaplacianWithProjection) {
+  const auto g = graph::grid2d(10, 10);
+  const CSRMatrix l = laplacian_matrix(g);
+  const auto op = csr_operator(l);
+  // Spectral bounds from Lanczos (projected).
+  const auto ritz = lanczos_extreme(op, 3, 60, true);
+  support::Rng rng(5);
+  Vector b(g.num_vertices());
+  for (double& v : b) v = rng.normal();
+  remove_mean(b);
+  Vector x(g.num_vertices(), 0.0);
+  ChebyshevOptions opt;
+  // Ritz values converge from inside the spectrum, so pad generously: the
+  // min must be a true lower bound for Chebyshev to damp every mode.
+  opt.lambda_min = ritz.min_eigenvalue * 0.25;
+  opt.lambda_max = ritz.max_eigenvalue * 1.1;
+  opt.iterations = 800;
+  opt.project_constant = true;
+  const auto report = chebyshev_solve(op, b, x, opt);
+  EXPECT_LT(report.relative_residual, 1e-5);
+}
+
+TEST(Chebyshev, MatchesCgSolution) {
+  const auto g = graph::connected_erdos_renyi(60, 0.2, 7);
+  const CSRMatrix l = laplacian_matrix(g);
+  const CSRMatrix m = l.add(CSRMatrix::identity(g.num_vertices()));
+  const auto op = csr_operator(m);
+  support::Rng rng(9);
+  Vector b(g.num_vertices());
+  for (double& v : b) v = rng.normal();
+
+  Vector via_cg(g.num_vertices(), 0.0);
+  CGOptions cg;
+  cg.tolerance = 1e-12;
+  conjugate_gradient(op, b, via_cg, cg);
+
+  const auto ritz = lanczos_extreme(op, 3, 60);
+  Vector via_cheb(g.num_vertices(), 0.0);
+  ChebyshevOptions opt;
+  opt.lambda_min = std::max(ritz.min_eigenvalue * 0.9, 1e-6);
+  opt.lambda_max = ritz.max_eigenvalue * 1.1;
+  opt.iterations = 600;
+  chebyshev_solve(op, b, via_cheb, opt);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    EXPECT_NEAR(via_cheb[i], via_cg[i], 1e-4);
+}
+
+TEST(Chebyshev, MoreIterationsReduceResidual) {
+  const CSRMatrix m = CSRMatrix::diagonal(Vector{1.0, 5.0, 10.0});
+  const Vector b = {1.0, 1.0, 1.0};
+  ChebyshevOptions opt;
+  opt.lambda_min = 1.0;
+  opt.lambda_max = 10.0;
+  opt.iterations = 5;
+  Vector x1(3, 0.0), x2(3, 0.0);
+  const auto short_run = chebyshev_solve(csr_operator(m), b, x1, opt);
+  opt.iterations = 30;
+  const auto long_run = chebyshev_solve(csr_operator(m), b, x2, opt);
+  EXPECT_LT(long_run.relative_residual, short_run.relative_residual);
+}
+
+}  // namespace
+}  // namespace spar::linalg

@@ -1,0 +1,176 @@
+#include "linalg/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "linalg/laplacian.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace spar::linalg {
+namespace {
+
+TEST(DenseMatrix, FromCsrSumsDuplicates) {
+  const CSRMatrix m =
+      CSRMatrix::from_triplets(2, 2, {{0, 1, 1.0}, {0, 1, 2.0}}, false);
+  const DenseMatrix d = DenseMatrix::from_csr(m);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 3.0);
+}
+
+TEST(DenseMatrix, MultiplyVector) {
+  DenseMatrix m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 3;
+  m.at(1, 1) = 4;
+  const Vector y = m.multiply(Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(DenseMatrix, MatrixProductAgainstIdentity) {
+  DenseMatrix m(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) m.at(i, j) = double(3 * i + j);
+  const DenseMatrix p = m.multiply(DenseMatrix::identity(3));
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(p.at(i, j), m.at(i, j));
+}
+
+TEST(DenseMatrix, TransposeInvolution) {
+  DenseMatrix m(2, 3);
+  m.at(0, 2) = 5.0;
+  m.at(1, 0) = -2.0;
+  const DenseMatrix tt = m.transpose().transpose();
+  EXPECT_DOUBLE_EQ(tt.at(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(tt.at(1, 0), -2.0);
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  DenseMatrix m(3, 3);
+  m.at(0, 0) = 3.0;
+  m.at(1, 1) = 1.0;
+  m.at(2, 2) = 2.0;
+  const auto eig = symmetric_eigen(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigen, TwoByTwoKnownSpectrum) {
+  DenseMatrix m(2, 2);
+  m.at(0, 0) = 2.0;
+  m.at(1, 1) = 2.0;
+  m.at(0, 1) = 1.0;
+  m.at(1, 0) = 1.0;
+  const auto eig = symmetric_eigen(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix) {
+  // A = V diag(lambda) V^T must reproduce the input.
+  support::Rng rng(5);
+  const std::size_t n = 12;
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = rng.normal();
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  const auto eig = symmetric_eigen(a);
+  DenseMatrix recon(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto vk = eig.eigenvectors.column(k);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        recon.at(i, j) += eig.eigenvalues[k] * vk[i] * vk[j];
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(recon.at(i, j), a.at(i, j), 1e-8);
+}
+
+TEST(SymmetricEigen, EigenvectorsOrthonormal) {
+  support::Rng rng(9);
+  const std::size_t n = 10;
+  DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = rng.uniform();
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  const auto eig = symmetric_eigen(a);
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q) {
+      const double ip = dot(eig.eigenvectors.column(p), eig.eigenvectors.column(q));
+      EXPECT_NEAR(ip, p == q ? 1.0 : 0.0, 1e-9);
+    }
+}
+
+TEST(SymmetricEigen, PathLaplacianSpectrumKnown) {
+  // Path P_n Laplacian eigenvalues: 2 - 2 cos(pi k / n), k = 0..n-1.
+  const std::size_t n = 8;
+  const DenseMatrix l =
+      DenseMatrix::from_csr(laplacian_matrix(graph::path_graph(n)));
+  const auto eig = symmetric_eigen(l);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = 2.0 - 2.0 * std::cos(M_PI * double(k) / double(n));
+    EXPECT_NEAR(eig.eigenvalues[k], expected, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Cholesky, FactorizationSolvesSystem) {
+  DenseMatrix a(3, 3);
+  // SPD matrix: A = M M^T + I.
+  support::Rng rng(3);
+  DenseMatrix m(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) m.at(i, j) = rng.normal();
+  const DenseMatrix mt = m.transpose();
+  a = m.multiply(mt);
+  for (std::size_t i = 0; i < 3; ++i) a.at(i, i) += 1.0;
+
+  const DenseMatrix lower = cholesky(a);
+  const Vector b = {1.0, -2.0, 0.5};
+  const Vector x = cholesky_solve(lower, b);
+  const Vector back = a.multiply(x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(back[i], b[i], 1e-10);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = -1.0;
+  EXPECT_THROW(cholesky(a), spar::Error);
+}
+
+TEST(SymmetricPinv, InvertsOnRange) {
+  // Laplacian of a triangle: pinv(L) L = projection onto 1^perp.
+  const DenseMatrix l =
+      DenseMatrix::from_csr(laplacian_matrix(graph::complete_graph(3)));
+  const DenseMatrix p = symmetric_pinv(l);
+  const DenseMatrix pl = p.multiply(l);
+  // P L should equal I - (1/3) J.
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double expected = (i == j ? 1.0 : 0.0) - 1.0 / 3.0;
+      EXPECT_NEAR(pl.at(i, j), expected, 1e-9);
+    }
+}
+
+TEST(SymmetricPinv, NullspaceMapsToZero) {
+  const DenseMatrix l =
+      DenseMatrix::from_csr(laplacian_matrix(graph::cycle_graph(6)));
+  const DenseMatrix p = symmetric_pinv(l);
+  const Vector ones(6, 1.0);
+  const Vector y = p.multiply(ones);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace spar::linalg

@@ -1,0 +1,86 @@
+#include "linalg/eigen_iterative.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "linalg/csr_matrix.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/laplacian.hpp"
+
+namespace spar::linalg {
+namespace {
+
+LinearOperator csr_operator(const CSRMatrix& m) {
+  return {m.rows(), [&m](std::span<const double> x, std::span<double> y) {
+            m.multiply(x, y);
+          }};
+}
+
+TEST(PowerIteration, DominantEigenvalueOfDiagonal) {
+  const CSRMatrix m = CSRMatrix::diagonal(Vector{1.0, 5.0, 3.0});
+  const auto result = power_iteration(csr_operator(m), 42);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.eigenvalue, 5.0, 1e-5);
+}
+
+TEST(PowerIteration, CompleteGraphLaplacian) {
+  // K_n Laplacian has lambda_max = n.
+  const auto g = graph::complete_graph(10);
+  const CSRMatrix l = laplacian_matrix(g);
+  const auto result = power_iteration(csr_operator(l), 7, 1e-10, 5000);
+  EXPECT_NEAR(result.eigenvalue, 10.0, 1e-4);
+}
+
+TEST(PowerIteration, ProjectionSkipsNullspaceDirection) {
+  // With projection the iterate stays orthogonal to 1; for K_n every
+  // non-null eigenvalue is n, so the answer is unchanged but converges in
+  // one step.
+  const auto g = graph::complete_graph(8);
+  const CSRMatrix l = laplacian_matrix(g);
+  const auto result = power_iteration(csr_operator(l), 7, 1e-10, 100, true);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.eigenvalue, 8.0, 1e-6);
+}
+
+TEST(LanczosExtreme, DiagonalSpectrumEnds) {
+  const CSRMatrix m = CSRMatrix::diagonal(Vector{-2.0, 0.5, 7.0, 3.0});
+  const auto result = lanczos_extreme(csr_operator(m), 3, 4);
+  EXPECT_NEAR(result.min_eigenvalue, -2.0, 1e-8);
+  EXPECT_NEAR(result.max_eigenvalue, 7.0, 1e-8);
+}
+
+TEST(LanczosExtreme, PathLaplacianMatchesClosedForm) {
+  const std::size_t n = 40;
+  const auto g = graph::path_graph(n);
+  const CSRMatrix l = laplacian_matrix(g);
+  const auto result = lanczos_extreme(csr_operator(l), 5, 40, true);
+  const double lambda_max = 2.0 - 2.0 * std::cos(M_PI * double(n - 1) / double(n));
+  const double lambda_2 = 2.0 - 2.0 * std::cos(M_PI / double(n));
+  EXPECT_NEAR(result.max_eigenvalue, lambda_max, 1e-6);
+  // With projection the smallest Ritz value approximates lambda_2, not 0.
+  EXPECT_NEAR(result.min_eigenvalue, lambda_2, 1e-6);
+}
+
+TEST(LanczosExtreme, RitzValuesAreInnerBounds) {
+  const auto g = graph::connected_erdos_renyi(120, 0.08, 3);
+  const CSRMatrix l = laplacian_matrix(g);
+  const auto exact =
+      symmetric_eigen(DenseMatrix::from_csr(l));
+  const auto ritz = lanczos_extreme(csr_operator(l), 11, 60);
+  EXPECT_LE(ritz.max_eigenvalue, exact.eigenvalues.back() + 1e-6);
+  EXPECT_GE(ritz.min_eigenvalue, exact.eigenvalues.front() - 1e-6);
+  // And with a decent budget they are close.
+  EXPECT_NEAR(ritz.max_eigenvalue, exact.eigenvalues.back(), 1e-3);
+}
+
+TEST(LanczosExtreme, StepsCappedByDimension) {
+  const CSRMatrix m = CSRMatrix::identity(5);
+  const auto result = lanczos_extreme(csr_operator(m), 1, 50);
+  EXPECT_LE(result.steps, 5u);
+  EXPECT_NEAR(result.max_eigenvalue, 1.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace spar::linalg

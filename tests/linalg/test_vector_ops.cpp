@@ -1,0 +1,81 @@
+#include "linalg/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spar::linalg {
+namespace {
+
+TEST(VectorOps, DotProduct) {
+  const Vector a = {1, 2, 3};
+  const Vector b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(VectorOps, DotOfLargeVectorsParallelPathMatchesSerial) {
+  const std::size_t n = 1 << 16;  // above the parallel threshold
+  Vector a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = 1.0 / static_cast<double>(i + 1);
+    b[i] = static_cast<double>(i % 7);
+  }
+  double expected = 0;
+  for (std::size_t i = 0; i < n; ++i) expected += a[i] * b[i];
+  EXPECT_NEAR(dot(a, b), expected, 1e-9 * std::abs(expected));
+}
+
+TEST(VectorOps, Norm2) {
+  const Vector a = {3, 4};
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+}
+
+TEST(VectorOps, AxpyAccumulates) {
+  const Vector x = {1, 2};
+  Vector y = {10, 20};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOps, ScaleMultiplies) {
+  Vector x = {1, -2, 3};
+  scale(-2.0, x);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+  EXPECT_DOUBLE_EQ(x[2], -6.0);
+}
+
+TEST(VectorOps, CopyAndFill) {
+  const Vector x = {1, 2, 3};
+  Vector y(3);
+  copy(x, y);
+  EXPECT_EQ(y, x);
+  fill(y, 7.0);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(VectorOps, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(VectorOps, MeanComputes) {
+  const Vector x = {1, 2, 3, 6};
+  EXPECT_DOUBLE_EQ(mean(x), 3.0);
+}
+
+TEST(VectorOps, RemoveMeanCentersExactly) {
+  Vector x = {5, 7, 9};
+  remove_mean(x);
+  EXPECT_DOUBLE_EQ(x[0] + x[1] + x[2], 0.0);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+}
+
+TEST(VectorOps, RemoveMeanIsIdempotent) {
+  Vector x = {1, 4, -2, 6};
+  remove_mean(x);
+  const Vector once = x;
+  remove_mean(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], once[i], 1e-15);
+}
+
+}  // namespace
+}  // namespace spar::linalg

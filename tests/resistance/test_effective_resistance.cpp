@@ -1,0 +1,159 @@
+#include "resistance/effective_resistance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "support/error.hpp"
+
+namespace spar::resistance {
+namespace {
+
+using graph::Graph;
+
+TEST(ExactResistance, SeriesLaw) {
+  // Path of resistances 1/2 + 1/3 between the endpoints.
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  EXPECT_NEAR(exact_effective_resistance(g, 0, 2), 0.5 + 1.0 / 3.0, 1e-10);
+}
+
+TEST(ExactResistance, ParallelLaw) {
+  // Two parallel unit-resistance edges: R = 1/2 (equation 2.1 of the paper).
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_NEAR(exact_effective_resistance(g, 0, 1), 0.5, 1e-10);
+}
+
+TEST(ExactResistance, WheatstoneBridge) {
+  // Balanced Wheatstone bridge: middle edge carries no current; R = 1.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(1, 2, 5.0);  // any weight; bridge is balanced
+  EXPECT_NEAR(exact_effective_resistance(g, 0, 3), 1.0, 1e-10);
+}
+
+TEST(ExactResistance, CompleteGraphClosedForm) {
+  // K_n with unit weights: R(u,v) = 2/n.
+  const Graph g = graph::complete_graph(10);
+  const auto r = exact_effective_resistances(g);
+  for (double ri : r) EXPECT_NEAR(ri, 0.2, 1e-10);
+}
+
+TEST(ExactResistance, TreeEdgesHaveLeverageOne) {
+  // On a tree, every edge's effective resistance equals its own resistance.
+  const Graph g = graph::randomize_weights(graph::binary_tree(20), 1.5, 3);
+  const auto r = exact_effective_resistances(g);
+  for (std::size_t i = 0; i < g.num_edges(); ++i)
+    EXPECT_NEAR(r[i], 1.0 / g.edge(i).w, 1e-9);
+}
+
+TEST(ExactResistance, TotalLeverageIsNMinus1) {
+  // Foster's theorem: sum_e w_e R_e = n - 1.
+  const Graph g =
+      graph::randomize_weights(graph::connected_erdos_renyi(60, 0.15, 7), 1.0, 9);
+  const auto r = exact_effective_resistances(g);
+  const auto lev = leverage_scores(g, r);
+  double total = 0.0;
+  for (double l : lev) total += l;
+  EXPECT_NEAR(total, double(g.num_vertices() - 1), 1e-7);
+}
+
+TEST(ExactResistance, RayleighMonotonicity) {
+  // Removing an edge can only increase effective resistances.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(0, 3, 1.0);
+  g.add_edge(0, 2, 1.0);
+  const double before = exact_effective_resistance(g, 0, 3);
+  Graph h(4);  // same graph minus the chord {0,2}
+  h.add_edge(0, 1, 1.0);
+  h.add_edge(1, 2, 1.0);
+  h.add_edge(2, 3, 1.0);
+  h.add_edge(0, 3, 1.0);
+  const double after = exact_effective_resistance(h, 0, 3);
+  EXPECT_LE(before, after + 1e-12);
+}
+
+TEST(ExactResistance, DisconnectedGraphThrows) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_THROW(exact_effective_resistances(g), spar::Error);
+}
+
+TEST(ExactResistance, ScalingLaw) {
+  // Scaling all weights by c divides resistances by c.
+  const Graph g = graph::connected_erdos_renyi(30, 0.2, 5);
+  const auto r1 = exact_effective_resistances(g);
+  const auto r2 = exact_effective_resistances(g.scaled(4.0));
+  for (std::size_t i = 0; i < r1.size(); ++i) EXPECT_NEAR(r2[i], r1[i] / 4.0, 1e-9);
+}
+
+// ---- Approximate (Spielman-Srivastava JL) path ----------------------------
+
+class ApproxResistance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproxResistance, WithinJLErrorOfExact) {
+  const std::uint64_t seed = GetParam();
+  const Graph g =
+      graph::randomize_weights(graph::connected_erdos_renyi(80, 0.15, seed), 1.0, seed);
+  const auto exact = exact_effective_resistances(g);
+  ApproxResistanceOptions opt;
+  opt.epsilon = 0.25;
+  opt.seed = seed * 31 + 1;
+  const auto approx = approx_effective_resistances(g, opt);
+  ASSERT_EQ(approx.size(), exact.size());
+  // JL guarantee is per-edge (1 +- eps) w.h.p.; allow 2x slack for the tail.
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_GT(approx[i], exact[i] * (1.0 - 2 * 0.25)) << i;
+    EXPECT_LT(approx[i], exact[i] * (1.0 + 2 * 0.25)) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxResistance, ::testing::Values(1, 2, 3));
+
+TEST(ApproxResistance, ProbeCountOverride) {
+  const Graph g = graph::cycle_graph(20);
+  ApproxResistanceOptions opt;
+  opt.num_probes = 2;  // tiny budget must still run
+  const auto r = approx_effective_resistances(g, opt);
+  EXPECT_EQ(r.size(), g.num_edges());
+  for (double ri : r) EXPECT_GE(ri, 0.0);
+}
+
+TEST(ApproxResistance, DeterministicPerSeed) {
+  const Graph g = graph::connected_erdos_renyi(40, 0.2, 3);
+  ApproxResistanceOptions opt;
+  opt.seed = 99;
+  const auto a = approx_effective_resistances(g, opt);
+  const auto b = approx_effective_resistances(g, opt);
+  EXPECT_EQ(a, b);
+}
+
+TEST(LeverageScores, SizesAndValues) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 4.0);
+  const linalg::Vector r = {0.5, 0.25};
+  const auto lev = leverage_scores(g, r);
+  EXPECT_DOUBLE_EQ(lev[0], 1.0);
+  EXPECT_DOUBLE_EQ(lev[1], 1.0);
+}
+
+TEST(LeverageScores, SizeMismatchThrows) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_THROW(leverage_scores(g, linalg::Vector{1.0, 2.0}), spar::Error);
+}
+
+}  // namespace
+}  // namespace spar::resistance

@@ -1,0 +1,100 @@
+// Chain with the Chebyshev tail smoother (PRAM-friendlier: no inner
+// products) vs the default Jacobi tail.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "solver/solver.hpp"
+#include "support/rng.hpp"
+
+namespace spar::solver {
+namespace {
+
+using graph::Graph;
+using linalg::Vector;
+
+Vector rhs_for(const SDDMatrix& m, std::uint64_t seed) {
+  support::Rng rng(seed);
+  Vector b(m.dimension());
+  for (double& v : b) v = rng.normal();
+  if (m.is_singular()) linalg::remove_mean(b);
+  return b;
+}
+
+double residual(const SDDMatrix& m, const Vector& x, const Vector& b) {
+  const Vector mx = m.apply(x);
+  double err = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    err += (mx[i] - b[i]) * (mx[i] - b[i]);
+    norm += b[i] * b[i];
+  }
+  return std::sqrt(err / norm);
+}
+
+TEST(ChebyshevTail, ChainStillSymmetricAndConvergent) {
+  const Graph g = graph::grid2d(12, 12);
+  Vector slack(g.num_vertices(), 0.0);
+  slack[0] = 1.0;
+  const SDDMatrix m(g, slack);
+  SolveOptions opt;
+  opt.chain.tail = TailSmoother::kChebyshev;
+  opt.chain.max_levels = 10;
+  const Vector b = rhs_for(m, 13);
+  const auto report = solve_sdd(m, b, opt);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(residual(m, report.solution, b), 1e-6);
+}
+
+TEST(ChebyshevTail, SingularLaplacianWorks) {
+  const Graph g = graph::grid2d(10, 10);
+  const SDDMatrix m(g);
+  SolveOptions opt;
+  opt.chain.tail = TailSmoother::kChebyshev;
+  opt.chain.max_levels = 8;
+  const Vector b = rhs_for(m, 17);
+  const auto report = solve_sdd(m, b, opt);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(residual(m, report.solution, b), 1e-6);
+}
+
+TEST(ChebyshevTail, MatchesJacobiTailSolution) {
+  const Graph g = graph::grid2d(9, 9);
+  const SDDMatrix m(g, Vector(g.num_vertices(), 0.4));
+  const Vector b = rhs_for(m, 19);
+  SolveOptions opt;
+  opt.tolerance = 1e-10;
+  opt.chain.tail = TailSmoother::kJacobi;
+  const auto jac = solve_sdd(m, b, opt);
+  opt.chain.tail = TailSmoother::kChebyshev;
+  const auto cheb = solve_sdd(m, b, opt);
+  ASSERT_TRUE(jac.converged);
+  ASSERT_TRUE(cheb.converged);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    EXPECT_NEAR(jac.solution[i], cheb.solution[i], 1e-7);
+}
+
+TEST(ChebyshevTail, StrongerTailNeedsFewerOuterIterations) {
+  // Chebyshev at sqrt(kappa) rate is a better last-level inverse than a few
+  // Jacobi sweeps when the last level is still moderately conditioned (small
+  // max_levels forces that situation).
+  const Graph g = graph::grid2d(14, 14);
+  Vector slack(g.num_vertices(), 0.0);
+  slack[0] = 1.0;
+  const SDDMatrix m(g, slack);
+  const Vector b = rhs_for(m, 23);
+  SolveOptions opt;
+  opt.chain.max_levels = 3;  // leave the tail poorly conditioned
+  opt.chain.tail = TailSmoother::kJacobi;
+  opt.chain.last_level_jacobi_steps = 8;
+  const auto jac = solve_sdd(m, b, opt);
+  opt.chain.tail = TailSmoother::kChebyshev;
+  opt.chain.last_level_chebyshev_steps = 8;
+  const auto cheb = solve_sdd(m, b, opt);
+  ASSERT_TRUE(jac.converged);
+  ASSERT_TRUE(cheb.converged);
+  EXPECT_LE(cheb.iterations, jac.iterations);
+}
+
+}  // namespace
+}  // namespace spar::solver

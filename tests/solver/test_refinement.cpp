@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "solver/solver.hpp"
+#include "support/rng.hpp"
+
+namespace spar::solver {
+namespace {
+
+using graph::Graph;
+using linalg::Vector;
+
+Vector random_rhs(std::size_t n, std::uint64_t seed, bool mean_free) {
+  support::Rng rng(seed);
+  Vector b(n);
+  for (double& v : b) v = rng.normal();
+  if (mean_free) linalg::remove_mean(b);
+  return b;
+}
+
+double residual(const SDDMatrix& m, const Vector& x, const Vector& b) {
+  const Vector mx = m.apply(x);
+  double err = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    err += (mx[i] - b[i]) * (mx[i] - b[i]);
+    norm += b[i] * b[i];
+  }
+  return std::sqrt(err / norm);
+}
+
+TEST(ChainRefinement, ConvergesOnGroundedGrid) {
+  const Graph g = graph::grid2d(12, 12);
+  Vector slack(g.num_vertices(), 0.0);
+  slack[0] = 1.0;
+  const SDDMatrix m(g, slack);
+  SolveOptions opt;
+  opt.chain.max_levels = 12;
+  const InverseChain chain(m, opt.chain);
+  const Vector b = random_rhs(m.dimension(), 3, false);
+  const auto report = solve_chain_refinement(m, chain, b, opt);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(residual(m, report.solution, b), 1e-6);
+}
+
+TEST(ChainRefinement, ConvergesOnSingularLaplacian) {
+  const Graph g = graph::grid2d(10, 10);
+  const SDDMatrix m(g);
+  SolveOptions opt;
+  opt.chain.max_levels = 8;
+  const InverseChain chain(m, opt.chain);
+  const Vector b = random_rhs(m.dimension(), 5, true);
+  const auto report = solve_chain_refinement(m, chain, b, opt);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(residual(m, report.solution, b), 1e-6);
+}
+
+TEST(ChainRefinement, IterationCountLogarithmicInTolerance) {
+  // Each sweep contracts the error by a constant; iterations should scale
+  // ~linearly in log(1/tol).
+  const Graph g = graph::grid2d(10, 10);
+  Vector slack(g.num_vertices(), 0.0);
+  slack[0] = 1.0;
+  const SDDMatrix m(g, slack);
+  SolveOptions opt;
+  opt.chain.max_levels = 12;
+  const InverseChain chain(m, opt.chain);
+  const Vector b = random_rhs(m.dimension(), 7, false);
+
+  opt.tolerance = 1e-4;
+  const auto coarse = solve_chain_refinement(m, chain, b, opt);
+  opt.tolerance = 1e-8;
+  const auto fine = solve_chain_refinement(m, chain, b, opt);
+  ASSERT_TRUE(coarse.converged);
+  ASSERT_TRUE(fine.converged);
+  EXPECT_GT(fine.iterations, coarse.iterations);
+  EXPECT_LE(fine.iterations, 4 * coarse.iterations + 8);
+}
+
+TEST(ChainRefinement, MatchesPcgSolution) {
+  const Graph g = graph::grid2d(9, 9);
+  const SDDMatrix m(g, Vector(g.num_vertices(), 0.2));
+  SolveOptions opt;
+  opt.tolerance = 1e-10;
+  const InverseChain chain(m, opt.chain);
+  const Vector b = random_rhs(m.dimension(), 9, false);
+  const auto refine = solve_chain_refinement(m, chain, b, opt);
+  const auto pcg = solve_sdd(m, chain, b, opt);
+  ASSERT_TRUE(refine.converged);
+  ASSERT_TRUE(pcg.converged);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    EXPECT_NEAR(refine.solution[i], pcg.solution[i], 1e-7);
+}
+
+TEST(ChainRefinement, ZeroRhsInstant) {
+  const SDDMatrix m(graph::cycle_graph(8), Vector(8, 0.1));
+  SolveOptions opt;
+  const InverseChain chain(m, opt.chain);
+  const auto report = solve_chain_refinement(m, chain, Vector(8, 0.0), opt);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.iterations, 0u);
+}
+
+TEST(ChainRefinement, ReportsChainFootprint) {
+  const SDDMatrix m(graph::grid2d(8, 8));
+  SolveOptions opt;
+  opt.chain.max_levels = 5;
+  const InverseChain chain(m, opt.chain);
+  const Vector b = random_rhs(m.dimension(), 11, true);
+  const auto report = solve_chain_refinement(m, chain, b, opt);
+  EXPECT_EQ(report.chain_levels, chain.num_levels());
+  EXPECT_EQ(report.chain_total_nnz, chain.total_nnz());
+}
+
+}  // namespace
+}  // namespace spar::solver

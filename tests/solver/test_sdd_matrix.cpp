@@ -1,0 +1,94 @@
+#include "solver/sdd_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "linalg/laplacian.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace spar::solver {
+namespace {
+
+using graph::Graph;
+using linalg::Vector;
+
+TEST(SDDMatrix, PureLaplacianIsSingular) {
+  const SDDMatrix m(graph::cycle_graph(6));
+  EXPECT_TRUE(m.is_singular());
+  EXPECT_EQ(m.dimension(), 6u);
+}
+
+TEST(SDDMatrix, SlackMakesNonsingular) {
+  Vector slack(6, 0.0);
+  slack[2] = 0.5;
+  const SDDMatrix m(graph::cycle_graph(6), slack);
+  EXPECT_FALSE(m.is_singular());
+}
+
+TEST(SDDMatrix, RejectsNegativeSlack) {
+  EXPECT_THROW(SDDMatrix(graph::path_graph(3), Vector{0.0, -1.0, 0.0}),
+               spar::Error);
+}
+
+TEST(SDDMatrix, RejectsWrongSlackSize) {
+  EXPECT_THROW(SDDMatrix(graph::path_graph(3), Vector{0.0, 0.0}), spar::Error);
+}
+
+TEST(SDDMatrix, DiagonalIsDegreePlusSlack) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  const SDDMatrix m(g, Vector{1.0, 0.0, 0.5});
+  EXPECT_DOUBLE_EQ(m.diagonal()[0], 3.0);
+  EXPECT_DOUBLE_EQ(m.diagonal()[1], 5.0);
+  EXPECT_DOUBLE_EQ(m.diagonal()[2], 3.5);
+}
+
+TEST(SDDMatrix, ApplyMatchesLaplacianPlusSlack) {
+  const Graph g = graph::randomize_weights(graph::grid2d(6, 6), 1.0, 3);
+  Vector slack(g.num_vertices());
+  support::Rng rng(7);
+  for (double& s : slack) s = rng.uniform();
+  const SDDMatrix m(g, slack);
+  Vector x(g.num_vertices());
+  for (double& v : x) v = rng.normal();
+
+  const linalg::LaplacianOperator lap(g);
+  Vector expected = lap.apply(x);
+  for (std::size_t i = 0; i < x.size(); ++i) expected[i] += slack[i] * x[i];
+  const Vector got = m.apply(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(got[i], expected[i], 1e-10);
+}
+
+TEST(SDDMatrix, QuadraticFormNonnegativeAndExact) {
+  const Graph g = graph::cycle_graph(8);
+  const SDDMatrix m(g, Vector(8, 0.25));
+  support::Rng rng(5);
+  Vector x(8);
+  for (double& v : x) v = rng.normal();
+  const double via_apply = linalg::dot(x, m.apply(x));
+  EXPECT_NEAR(m.quadratic_form(x), via_apply, 1e-9);
+  EXPECT_GE(m.quadratic_form(x), 0.0);
+}
+
+TEST(SDDMatrix, ToCsrMatchesApply) {
+  const Graph g = graph::randomize_weights(graph::complete_graph(12), 1.0, 9);
+  const SDDMatrix m(g, Vector(12, 0.1));
+  const auto csr = m.to_csr();
+  support::Rng rng(3);
+  Vector x(12);
+  for (double& v : x) v = rng.normal();
+  const Vector a = m.apply(x);
+  const Vector b = csr.multiply(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-10);
+}
+
+TEST(SDDMatrix, NnzCountsBothTrianglesPlusDiagonal) {
+  const Graph g = graph::path_graph(5);
+  const SDDMatrix m(g);
+  EXPECT_EQ(m.nnz(), 2u * 4 + 5);
+}
+
+}  // namespace
+}  // namespace spar::solver

@@ -1,0 +1,159 @@
+#include "solver/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace spar::solver {
+namespace {
+
+using graph::Graph;
+using linalg::Vector;
+
+Vector random_rhs(std::size_t n, std::uint64_t seed, bool mean_free) {
+  support::Rng rng(seed);
+  Vector b(n);
+  for (double& v : b) v = rng.normal();
+  if (mean_free) linalg::remove_mean(b);
+  return b;
+}
+
+double residual(const SDDMatrix& m, const Vector& x, const Vector& b) {
+  const Vector mx = m.apply(x);
+  double err = 0.0, norm = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    err += (mx[i] - b[i]) * (mx[i] - b[i]);
+    norm += b[i] * b[i];
+  }
+  return std::sqrt(err / norm);
+}
+
+TEST(SolveCg, SolvesGroundedGrid) {
+  const Graph g = graph::grid2d(12, 12);
+  Vector slack(g.num_vertices(), 0.0);
+  slack[0] = 1.0;
+  const SDDMatrix m(g, slack);
+  const Vector b = random_rhs(m.dimension(), 3, false);
+  const auto report = solve_cg(m, b);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(residual(m, report.solution, b), 1e-6);
+}
+
+TEST(SolveCg, SolvesSingularLaplacianOnRange) {
+  const Graph g = graph::connected_erdos_renyi(100, 0.08, 5);
+  const SDDMatrix m(g);
+  const Vector b = random_rhs(m.dimension(), 7, true);
+  const auto report = solve_cg(m, b);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(residual(m, report.solution, b), 1e-6);
+}
+
+TEST(SolveJacobiPcg, Converges) {
+  const Graph g = graph::grid2d(10, 10);
+  const SDDMatrix m(g, Vector(g.num_vertices(), 0.5));
+  const Vector b = random_rhs(m.dimension(), 9, false);
+  const auto report = solve_jacobi_pcg(m, b);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(residual(m, report.solution, b), 1e-6);
+}
+
+TEST(SolveSdd, ChainPcgConvergesOnGroundedGrid) {
+  const Graph g = graph::grid2d(15, 15);
+  Vector slack(g.num_vertices(), 0.0);
+  slack[0] = 1.0;
+  const SDDMatrix m(g, slack);
+  const Vector b = random_rhs(m.dimension(), 11, false);
+  SolveOptions opt;
+  opt.chain.max_levels = 12;
+  const auto report = solve_sdd(m, b, opt);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(residual(m, report.solution, b), 1e-6);
+  EXPECT_GE(report.chain_levels, 2u);
+  EXPECT_GT(report.chain_total_nnz, 0u);
+}
+
+TEST(SolveSdd, FewerIterationsThanPlainCg) {
+  const Graph g = graph::grid2d(20, 20);
+  Vector slack(g.num_vertices(), 0.0);
+  slack[0] = 1.0;
+  const SDDMatrix m(g, slack);
+  const Vector b = random_rhs(m.dimension(), 13, false);
+  SolveOptions opt;
+  opt.chain.max_levels = 16;
+  const auto chain_report = solve_sdd(m, b, opt);
+  const auto cg_report = solve_cg(m, b, opt);
+  EXPECT_TRUE(chain_report.converged);
+  EXPECT_TRUE(cg_report.converged);
+  EXPECT_LT(chain_report.iterations, cg_report.iterations / 3);
+}
+
+TEST(SolveSdd, SingularLaplacianConverges) {
+  const Graph g = graph::grid2d(12, 12);
+  const SDDMatrix m(g);
+  const Vector b = random_rhs(m.dimension(), 17, true);
+  SolveOptions opt;
+  opt.chain.max_levels = 8;
+  const auto report = solve_sdd(m, b, opt);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(residual(m, report.solution, b), 1e-6);
+}
+
+TEST(SolveSdd, ChainReuseAcrossRhs) {
+  const Graph g = graph::grid2d(10, 10);
+  Vector slack(g.num_vertices(), 0.0);
+  slack[0] = 1.0;
+  const SDDMatrix m(g, slack);
+  SolveOptions opt;
+  const InverseChain chain(m, opt.chain);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Vector b = random_rhs(m.dimension(), seed, false);
+    const auto report = solve_sdd(m, chain, b, opt);
+    EXPECT_TRUE(report.converged) << "seed " << seed;
+    EXPECT_LT(residual(m, report.solution, b), 1e-6);
+  }
+}
+
+TEST(SolveSdd, RandomWeightedGraphs) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Graph g = graph::randomize_weights(
+        graph::connected_erdos_renyi(150, 0.05, seed), 2.0, seed);
+    const SDDMatrix m(g);
+    const Vector b = random_rhs(m.dimension(), seed * 7, true);
+    SolveOptions opt;
+    opt.chain.max_levels = 8;
+    const auto report = solve_sdd(m, b, opt);
+    EXPECT_TRUE(report.converged) << "seed " << seed;
+    EXPECT_LT(residual(m, report.solution, b), 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(Solvers, RejectWrongRhsSize) {
+  const SDDMatrix m(graph::path_graph(5));
+  const Vector b(4, 1.0);
+  EXPECT_THROW(solve_cg(m, b), spar::Error);
+  EXPECT_THROW(solve_jacobi_pcg(m, b), spar::Error);
+  EXPECT_THROW(solve_sdd(m, b), spar::Error);
+}
+
+TEST(Solvers, AgreeOnSolution) {
+  // All three solvers must find the same solution (unique for nonsingular).
+  const Graph g = graph::grid2d(8, 8);
+  const SDDMatrix m(g, Vector(g.num_vertices(), 0.3));
+  const Vector b = random_rhs(m.dimension(), 23, false);
+  SolveOptions opt;
+  opt.tolerance = 1e-10;
+  const auto a = solve_cg(m, b, opt);
+  const auto c = solve_jacobi_pcg(m, b, opt);
+  const auto d = solve_sdd(m, b, opt);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(a.solution[i], c.solution[i], 1e-6);
+    EXPECT_NEAR(a.solution[i], d.solution[i], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace spar::solver

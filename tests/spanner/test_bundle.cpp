@@ -1,0 +1,189 @@
+#include "spanner/bundle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "graph/union_find.hpp"
+#include "resistance/effective_resistance.hpp"
+#include "spanner/stretch.hpp"
+#include "support/error.hpp"
+
+namespace spar::spanner {
+namespace {
+
+using graph::EdgeId;
+using graph::Graph;
+
+TEST(Bundle, ComponentsAreEdgeDisjoint) {
+  const Graph g = graph::complete_graph(40);
+  const Bundle b = t_bundle(g, {.t = 3, .seed = 7});
+  std::vector<int> seen(g.num_edges(), 0);
+  for (const auto& component : b.components)
+    for (EdgeId id : component) ++seen[id];
+  for (int count : seen) EXPECT_LE(count, 1);
+}
+
+TEST(Bundle, CountsAreConsistent) {
+  const Graph g = graph::complete_graph(40);
+  const Bundle b = t_bundle(g, {.t = 3, .seed = 7});
+  std::size_t from_components = 0;
+  for (const auto& component : b.components) from_components += component.size();
+  EXPECT_EQ(b.bundle_edge_count, from_components);
+  EXPECT_EQ(b.bundle_edge_count + b.off_bundle_edge_count, g.num_edges());
+  std::size_t mask_count = 0;
+  for (bool in : b.in_bundle) mask_count += in;
+  EXPECT_EQ(mask_count, b.bundle_edge_count);
+}
+
+TEST(Bundle, EachComponentIsSpannerOfRemainder) {
+  // Component i must have stretch <= 2k-1 for all edges alive when it was
+  // peeled (Definition 1).
+  const Graph g =
+      graph::randomize_weights(graph::complete_graph(48), 1.0, 3);
+  const std::size_t k = auto_spanner_k(g.num_vertices());
+  const Bundle b = t_bundle(g, {.t = 3, .seed = 11});
+
+  std::vector<bool> removed(g.num_edges(), false);
+  for (const auto& component : b.components) {
+    // Graph visible to this component: everything not yet removed.
+    std::vector<bool> in_spanner(g.num_edges(), false);
+    for (EdgeId id : component) in_spanner[id] = true;
+    // Build the visible graph and the spanner mask on it.
+    Graph visible(g.num_vertices());
+    std::vector<bool> visible_mask;
+    for (EdgeId id = 0; id < g.num_edges(); ++id) {
+      if (removed[id]) continue;
+      visible.add_edge(g.edge(id).u, g.edge(id).v, g.edge(id).w);
+      visible_mask.push_back(in_spanner[id]);
+    }
+    const StretchReport report = stretch_over_subgraph(visible, visible_mask);
+    EXPECT_EQ(report.disconnected_pairs, 0u);
+    EXPECT_LE(report.max_stretch, double(2 * k - 1) + 1e-9);
+    for (EdgeId id : component) removed[id] = true;
+  }
+}
+
+TEST(Bundle, StopsEarlyWhenEdgesExhausted) {
+  const Graph g = graph::path_graph(20);
+  const Bundle b = t_bundle(g, {.t = 10, .seed = 3});
+  // A tree is consumed by the first spanner.
+  EXPECT_EQ(b.components.size(), 1u);
+  EXPECT_EQ(b.bundle_edge_count, g.num_edges());
+  EXPECT_EQ(b.off_bundle_edge_count, 0u);
+}
+
+TEST(Bundle, RejectsZeroT) {
+  const Graph g = graph::path_graph(4);
+  EXPECT_THROW(t_bundle(g, {.t = 0, .seed = 1}), spar::Error);
+}
+
+TEST(Bundle, GraphViewsPartitionEdges) {
+  const Graph g = graph::complete_graph(30);
+  const Bundle b = t_bundle(g, {.t = 2, .seed = 9});
+  const Graph bundle_part = b.bundle_graph(g);
+  const Graph rest = b.remainder_graph(g);
+  EXPECT_EQ(bundle_part.num_edges() + rest.num_edges(), g.num_edges());
+  EXPECT_NEAR(bundle_part.total_weight() + rest.total_weight(), g.total_weight(),
+              1e-9);
+}
+
+// ---- Lemma 1: off-bundle leverage scores ----------------------------------
+
+class Lemma1Property
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(Lemma1Property, OffBundleLeverageBounded) {
+  const auto [t, seed] = GetParam();
+  const Graph g =
+      graph::randomize_weights(graph::complete_graph(56), 1.0, seed);
+  const Bundle b = t_bundle(g, {.t = t, .seed = seed});
+  if (b.off_bundle_edge_count == 0) GTEST_SKIP() << "bundle ate the graph";
+
+  const auto resistances = resistance::exact_effective_resistances(g);
+  const double log2n = std::log2(double(g.num_vertices()));
+  // Lemma 1 with the proof's constant: w_e R_e <= 2 log n / t.
+  const double bound = 2.0 * log2n / double(t);
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    if (b.in_bundle[id]) continue;
+    const double leverage = g.edge(id).w * resistances[id];
+    EXPECT_LE(leverage, bound + 1e-9)
+        << "edge " << id << " t=" << t << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TSweep, Lemma1Property,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 4),
+                       ::testing::Values<std::uint64_t>(1, 2)),
+    [](const auto& info) {
+      return "t" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Bundle, BiggerTLeavesFewerOffBundleEdges) {
+  const Graph g = graph::complete_graph(64);
+  const Bundle b1 = t_bundle(g, {.t = 1, .seed = 5});
+  const Bundle b3 = t_bundle(g, {.t = 3, .seed = 5});
+  EXPECT_GT(b1.off_bundle_edge_count, b3.off_bundle_edge_count);
+}
+
+TEST(Bundle, WorksOnPrebuiltCsr) {
+  const Graph g = graph::complete_graph(24);
+  const graph::CSRGraph csr(g);
+  const Bundle a = t_bundle(g, csr, {.t = 2, .seed = 3});
+  const Bundle b = t_bundle(g, {.t = 2, .seed = 3});
+  EXPECT_EQ(a.in_bundle, b.in_bundle);
+}
+
+// ---- Tree bundles (Remark 2) ----------------------------------------------
+
+TEST(TreeBundle, ComponentsAreForests) {
+  const Graph g = graph::complete_graph(40);
+  const Bundle b = tree_bundle(g, {.t = 3, .seed = 5});
+  for (const auto& component : b.components) {
+    graph::UnionFind uf(g.num_vertices());
+    for (EdgeId id : component)
+      EXPECT_TRUE(uf.unite(g.edge(id).u, g.edge(id).v)) << "cycle in tree bundle";
+  }
+}
+
+TEST(TreeBundle, ComponentsSpanTheirRemainder) {
+  // Each component is a spanning forest of the graph left after the previous
+  // components (which may be disconnected, e.g. peeling a star from K_n
+  // isolates the hub): edge count = n - (#components of the remainder).
+  const Graph g = graph::complete_graph(30);
+  const Bundle b = tree_bundle(g, {.t = 2, .seed = 7});
+  std::vector<bool> removed(g.num_edges(), false);
+  for (const auto& component : b.components) {
+    Graph remainder(g.num_vertices());
+    for (graph::EdgeId id = 0; id < g.num_edges(); ++id)
+      if (!removed[id])
+        remainder.add_edge(g.edge(id).u, g.edge(id).v, g.edge(id).w);
+    graph::Vertex pieces = 0;
+    graph::connected_components(graph::CSRGraph(remainder), &pieces);
+    EXPECT_EQ(component.size(), g.num_vertices() - pieces);
+    for (graph::EdgeId id : component) removed[id] = true;
+  }
+}
+
+TEST(TreeBundle, MuchSmallerThanSpannerBundle) {
+  const Graph g = graph::complete_graph(128);
+  const Bundle trees = tree_bundle(g, {.t = 3, .seed = 9});
+  const Bundle spanners = t_bundle(g, {.t = 3, .seed = 9});
+  EXPECT_LT(trees.bundle_edge_count, spanners.bundle_edge_count);
+}
+
+TEST(TreeBundle, EdgeDisjointComponents) {
+  const Graph g = graph::complete_graph(32);
+  const Bundle b = tree_bundle(g, {.t = 4, .seed = 3});
+  std::vector<int> seen(g.num_edges(), 0);
+  for (const auto& component : b.components)
+    for (EdgeId id : component) ++seen[id];
+  for (int count : seen) EXPECT_LE(count, 1);
+}
+
+}  // namespace
+}  // namespace spar::spanner

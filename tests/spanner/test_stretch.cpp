@@ -1,0 +1,86 @@
+#include "spanner/stretch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/mst.hpp"
+#include "support/error.hpp"
+
+namespace spar::spanner {
+namespace {
+
+using graph::Graph;
+
+TEST(Stretch, TriangleHandComputed) {
+  // Remove the direct edge {0,2} (w=2, resistance .5); the path 0-1-2 has
+  // resistance 1 + 1 = 2 => stretch = w * dist = 2 * 2 = 4.
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const graph::EdgeId direct = g.add_edge(0, 2, 2.0);
+  std::vector<bool> mask(g.num_edges(), true);
+  mask[direct] = false;
+  const StretchReport report = stretch_over_subgraph(g, mask);
+  EXPECT_EQ(report.checked_edges, 1u);
+  EXPECT_DOUBLE_EQ(report.max_stretch, 4.0);
+  EXPECT_DOUBLE_EQ(report.mean_stretch, 4.0);
+}
+
+TEST(Stretch, SubgraphEdgesSkipped) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const StretchReport report = stretch_over_subgraph(g, {true, true});
+  EXPECT_EQ(report.checked_edges, 0u);
+  EXPECT_DOUBLE_EQ(report.max_stretch, 0.0);
+}
+
+TEST(Stretch, DisconnectedPairsCounted) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  const graph::EdgeId cut = g.add_edge(2, 3, 1.0);
+  std::vector<bool> mask(g.num_edges(), true);
+  mask[cut] = false;
+  const StretchReport report = stretch_over_subgraph(g, mask);
+  EXPECT_EQ(report.disconnected_pairs, 1u);
+}
+
+TEST(Stretch, MaskSizeValidated) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(stretch_over_subgraph(g, {true, false}), spar::Error);
+}
+
+TEST(Stretch, OverStandaloneGraph) {
+  // Stretch of cycle edges over its own MST (path): the removed edge has
+  // stretch = (n-1) on a unit cycle.
+  const Graph g = graph::cycle_graph(10);
+  const Graph t = graph::mst(g);
+  const StretchReport report = stretch_over_graph(g, t);
+  EXPECT_EQ(report.checked_edges, g.num_edges());
+  EXPECT_DOUBLE_EQ(report.max_stretch, 9.0);
+}
+
+TEST(Stretch, VertexCountMismatchThrows) {
+  EXPECT_THROW(stretch_over_graph(graph::path_graph(3), graph::path_graph(4)),
+               spar::Error);
+}
+
+TEST(Stretch, MeanLeqMax) {
+  const Graph g = graph::randomize_weights(graph::complete_graph(24), 1.0, 3);
+  const Graph t = graph::mst(g);
+  const StretchReport report = stretch_over_graph(g, t);
+  EXPECT_LE(report.mean_stretch, report.max_stretch);
+  EXPECT_GE(report.mean_stretch, 0.0);
+}
+
+TEST(Stretch, TreeEdgesHaveStretchAtMostOneOverSelf) {
+  // Every edge of H over H itself has stretch <= 1 (the edge is its own path)
+  // -- for unit weights exactly 1.
+  const Graph t = graph::binary_tree(15);
+  const StretchReport report = stretch_over_graph(t, t);
+  EXPECT_NEAR(report.max_stretch, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace spar::spanner

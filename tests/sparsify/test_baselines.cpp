@@ -1,0 +1,141 @@
+#include "sparsify/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "sparsify/spectral_cert.hpp"
+#include "support/error.hpp"
+
+namespace spar::sparsify {
+namespace {
+
+using graph::Graph;
+
+TEST(UniformSparsify, KeepsExpectedFraction) {
+  const Graph g = graph::complete_graph(120);
+  const Graph h = uniform_sparsify(g, 0.3, 7);
+  const double fraction = double(h.num_edges()) / double(g.num_edges());
+  EXPECT_NEAR(fraction, 0.3, 0.03);
+}
+
+TEST(UniformSparsify, ReweightsByInverseProbability) {
+  const Graph g = graph::complete_graph(30);
+  const Graph h = uniform_sparsify(g, 0.25, 3);
+  for (const auto& e : h.edges()) EXPECT_DOUBLE_EQ(e.w, 4.0);
+}
+
+TEST(UniformSparsify, PreservesTotalWeightInExpectation) {
+  const Graph g = graph::complete_graph(150);
+  double total = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed)
+    total += uniform_sparsify(g, 0.25, seed).total_weight();
+  EXPECT_NEAR(total / 8.0, g.total_weight(), 0.05 * g.total_weight());
+}
+
+TEST(UniformSparsify, ProbabilityOneIsIdentity) {
+  const Graph g = graph::cycle_graph(10);
+  EXPECT_TRUE(uniform_sparsify(g, 1.0, 1).same_edges(g));
+}
+
+TEST(UniformSparsify, RejectsBadProbability) {
+  const Graph g = graph::path_graph(4);
+  EXPECT_THROW(uniform_sparsify(g, 0.0, 1), spar::Error);
+  EXPECT_THROW(uniform_sparsify(g, 1.2, 1), spar::Error);
+}
+
+TEST(UniformSparsify, LosesDumbbellBridgeOften) {
+  // The null-hypothesis failure mode (motivation for the bundle): the unique
+  // bridge survives with probability p only.
+  const Graph g = graph::dumbbell(20);
+  int disconnected = 0;
+  const int trials = 40;
+  for (int seed = 0; seed < trials; ++seed) {
+    const Graph h = uniform_sparsify(g, 0.25, seed);
+    if (!graph::is_connected(graph::CSRGraph(h))) ++disconnected;
+  }
+  EXPECT_GT(disconnected, trials / 2);  // ~75% expected
+}
+
+// ---- Spielman-Srivastava -----------------------------------------------------
+
+TEST(SpielmanSrivastava, ProducesSpectralSparsifier) {
+  const Graph g = graph::randomize_weights(graph::complete_graph(60), 0.5, 5);
+  SpielmanSrivastavaOptions opt;
+  opt.epsilon = 0.4;
+  opt.resistance_mode = ResistanceMode::kExactDense;
+  opt.seed = 9;
+  const SSResult result = spielman_srivastava(g, opt);
+  const ApproxBounds bounds = exact_relative_bounds(g, result.sparsifier);
+  EXPECT_GT(bounds.lower, 0.5);
+  EXPECT_LT(bounds.upper, 1.5);
+}
+
+TEST(SpielmanSrivastava, DistinctEdgesAtMostSamples) {
+  const Graph g = graph::complete_graph(50);
+  SpielmanSrivastavaOptions opt;
+  opt.num_samples = 300;
+  opt.resistance_mode = ResistanceMode::kExactDense;
+  const SSResult result = spielman_srivastava(g, opt);
+  EXPECT_EQ(result.samples_drawn, 300u);
+  EXPECT_LE(result.distinct_edges, 300u);
+  EXPECT_EQ(result.sparsifier.num_edges(), result.distinct_edges);
+}
+
+TEST(SpielmanSrivastava, TotalWeightNearInput) {
+  // Each sample contributes w_e/(q p_e); summed expectation = total weight.
+  const Graph g = graph::complete_graph(60);
+  SpielmanSrivastavaOptions opt;
+  opt.epsilon = 0.5;
+  opt.resistance_mode = ResistanceMode::kExactDense;
+  opt.seed = 3;
+  const SSResult result = spielman_srivastava(g, opt);
+  EXPECT_NEAR(result.sparsifier.total_weight(), g.total_weight(),
+              0.15 * g.total_weight());
+}
+
+TEST(SpielmanSrivastava, ApproxResistanceModeWorks) {
+  const Graph g = graph::connected_erdos_renyi(80, 0.2, 3);
+  SpielmanSrivastavaOptions opt;
+  opt.epsilon = 0.5;
+  opt.resistance_mode = ResistanceMode::kApproxSolver;
+  opt.seed = 11;
+  const SSResult result = spielman_srivastava(g, opt);
+  EXPECT_GT(result.distinct_edges, 0u);
+  const ApproxBounds bounds = exact_relative_bounds(g, result.sparsifier);
+  EXPECT_GT(bounds.lower, 0.4);
+  EXPECT_LT(bounds.upper, 1.6);
+}
+
+TEST(SpielmanSrivastava, KeepsTreeEdgesAlways) {
+  // On a tree every leverage score is 1; with q >= m samples spread over
+  // m = n-1 edges, connectivity survives easily. More importantly: sampling
+  // proportional to leverage keeps the bridge of a dumbbell w.h.p.
+  const Graph g = graph::dumbbell(15);
+  SpielmanSrivastavaOptions opt;
+  opt.epsilon = 0.5;
+  opt.resistance_mode = ResistanceMode::kExactDense;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    opt.seed = seed;
+    const SSResult result = spielman_srivastava(g, opt);
+    EXPECT_TRUE(graph::is_connected(graph::CSRGraph(result.sparsifier)))
+        << "seed " << seed;
+  }
+}
+
+TEST(SpielmanSrivastava, RejectsEmptyGraph) {
+  EXPECT_THROW(spielman_srivastava(Graph(3), {}), spar::Error);
+}
+
+TEST(SpielmanSrivastava, RejectsBadEpsilon) {
+  const Graph g = graph::path_graph(4);
+  SpielmanSrivastavaOptions opt;
+  opt.epsilon = -0.5;
+  EXPECT_THROW(spielman_srivastava(g, opt), spar::Error);
+}
+
+}  // namespace
+}  // namespace spar::sparsify

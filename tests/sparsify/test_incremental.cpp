@@ -1,0 +1,114 @@
+#include "sparsify/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "sparsify/spectral_cert.hpp"
+#include "support/error.hpp"
+
+namespace spar::sparsify {
+namespace {
+
+using graph::Graph;
+
+TEST(IncrementalSparsify, TreeAlwaysKept) {
+  const Graph g = graph::randomize_weights(graph::complete_graph(40), 1.0, 3);
+  const auto result = incremental_sparsify(g, {.seed = 5});
+  EXPECT_EQ(result.tree_edges, g.num_vertices() - 1u);
+  EXPECT_GE(result.sparsifier.num_edges(), result.tree_edges);
+  EXPECT_TRUE(graph::is_connected(graph::CSRGraph(result.sparsifier)));
+}
+
+TEST(IncrementalSparsify, CountsConsistent) {
+  const Graph g = graph::complete_graph(30);
+  const auto result = incremental_sparsify(g, {.seed = 7});
+  EXPECT_EQ(result.tree_edges + result.off_tree_edges, g.num_edges());
+  EXPECT_EQ(result.sparsifier.num_edges(),
+            result.tree_edges + result.distinct_sampled);
+}
+
+TEST(IncrementalSparsify, SpectralQuality) {
+  const Graph g = graph::randomize_weights(graph::complete_graph(60), 0.5, 9);
+  IncrementalOptions opt;
+  opt.epsilon = 0.5;
+  opt.seed = 11;
+  const auto result = incremental_sparsify(g, opt);
+  const auto bounds = exact_relative_bounds(g, result.sparsifier);
+  EXPECT_GT(bounds.lower, 0.4);
+  EXPECT_LT(bounds.upper, 1.6);
+}
+
+TEST(IncrementalSparsify, TreeInputReturnsTreeExactly) {
+  const Graph g = graph::binary_tree(31);
+  const auto result = incremental_sparsify(g, {.seed = 3});
+  EXPECT_EQ(result.off_tree_edges, 0u);
+  EXPECT_DOUBLE_EQ(result.total_stretch, 0.0);
+  EXPECT_TRUE(result.sparsifier.same_edges(g));
+}
+
+TEST(IncrementalSparsify, TotalWeightNearInput) {
+  const Graph g = graph::complete_graph(50);
+  IncrementalOptions opt;
+  opt.epsilon = 0.5;
+  opt.seed = 13;
+  const auto result = incremental_sparsify(g, opt);
+  EXPECT_NEAR(result.sparsifier.total_weight(), g.total_weight(),
+              0.2 * g.total_weight());
+}
+
+TEST(IncrementalSparsify, StretchSumMatchesDirectComputation) {
+  // Total off-tree stretch equals what the stretch verifier reports for the
+  // same tree (mean * count).
+  const Graph g = graph::randomize_weights(graph::complete_graph(25), 1.0, 17);
+  IncrementalOptions opt;
+  opt.seed = 19;
+  opt.tree.seed = 23;
+  const auto result = incremental_sparsify(g, opt);
+  EXPECT_GT(result.total_stretch, double(result.off_tree_edges) - 1e-9);
+}
+
+TEST(IncrementalSparsify, DisconnectedInputThrows) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_THROW(incremental_sparsify(g, {}), spar::Error);
+}
+
+TEST(IncrementalSparsify, RejectsBadEpsilon) {
+  const Graph g = graph::complete_graph(8);
+  IncrementalOptions opt;
+  opt.epsilon = 0.0;
+  EXPECT_THROW(incremental_sparsify(g, opt), spar::Error);
+}
+
+TEST(IncrementalSparsify, SampleOverrideRespected) {
+  const Graph g = graph::complete_graph(30);
+  IncrementalOptions opt;
+  opt.num_samples = 17;
+  opt.seed = 29;
+  const auto result = incremental_sparsify(g, opt);
+  EXPECT_EQ(result.samples_drawn, 17u);
+  EXPECT_LE(result.distinct_sampled, 17u);
+}
+
+TEST(IncrementalSparsify, Deterministic) {
+  const Graph g = graph::complete_graph(30);
+  const auto a = incremental_sparsify(g, {.seed = 31});
+  const auto b = incremental_sparsify(g, {.seed = 31});
+  EXPECT_TRUE(a.sparsifier.same_edges(b.sparsifier));
+}
+
+TEST(IncrementalSparsify, DumbbellBridgeKeptWithHighProbability) {
+  // The bridge is a tree edge of any spanning tree: always kept.
+  const Graph g = graph::dumbbell(20, 0.01);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto result = incremental_sparsify(g, {.seed = seed});
+    EXPECT_TRUE(graph::is_connected(graph::CSRGraph(result.sparsifier)))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace spar::sparsify

@@ -1,0 +1,63 @@
+#include "sparsify/presets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace spar::sparsify {
+namespace {
+
+TEST(Presets, TheorySampleUsesFormulaWidth) {
+  const SampleOptions opt = make_sample_options(Preset::kTheory, 0.5, 3);
+  EXPECT_EQ(opt.t, 0u);  // resolved to the formula inside parallel_sample
+  EXPECT_DOUBLE_EQ(opt.epsilon, 0.5);
+  EXPECT_EQ(opt.seed, 3u);
+}
+
+TEST(Presets, PracticalSampleUsesGivenWidth) {
+  const SampleOptions opt = make_sample_options(Preset::kPractical, 0.5, 3, 5);
+  EXPECT_EQ(opt.t, 5u);
+}
+
+TEST(Presets, SparsifyOptionsCarryRho) {
+  const SparsifyOptions opt =
+      make_sparsify_options(Preset::kPractical, 1.0, 16.0, 7, 2);
+  EXPECT_DOUBLE_EQ(opt.rho, 16.0);
+  EXPECT_EQ(opt.t, 2u);
+  EXPECT_EQ(opt.seed, 7u);
+}
+
+TEST(Presets, ApplicabilityThresholdGrowsWithNAndShrinksWithEps) {
+  const std::size_t a = theory_applicability_threshold(1000, 1.0);
+  const std::size_t b = theory_applicability_threshold(2000, 1.0);
+  const std::size_t c = theory_applicability_threshold(1000, 0.5);
+  EXPECT_GT(b, a);
+  EXPECT_GT(c, a);  // smaller eps => bigger bundle => later applicability
+}
+
+TEST(Presets, ApplicabilityThresholdExceedsCompleteGraphAtSmallN) {
+  // The documented infeasibility: for n = 1000 the theory bundle needs more
+  // edges than K_n even at eps = 1.
+  const std::size_t n = 1000;
+  const std::size_t threshold = theory_applicability_threshold(n, 1.0);
+  EXPECT_GT(threshold, n * (n - 1) / 2);
+}
+
+TEST(Presets, TheorySampleOnSmallGraphReturnsInputUnchanged) {
+  const graph::Graph g = graph::complete_graph(40);
+  const auto result =
+      parallel_sample(g, make_sample_options(Preset::kTheory, 1.0, 1));
+  // Bundle swallows the graph; the sample equals the input exactly.
+  EXPECT_TRUE(result.sparsifier.same_edges(g));
+  EXPECT_EQ(result.sampled_edges, 0u);
+}
+
+TEST(Presets, PracticalSampleActuallySparsifies) {
+  const graph::Graph g = graph::complete_graph(120);
+  const auto result =
+      parallel_sample(g, make_sample_options(Preset::kPractical, 1.0, 1, 1));
+  EXPECT_LT(result.sparsifier.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace spar::sparsify

@@ -1,0 +1,92 @@
+#include "sparsify/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/mst.hpp"
+#include "sparsify/sample.hpp"
+#include "sparsify/spectral_cert.hpp"
+#include "support/error.hpp"
+
+namespace spar::sparsify {
+namespace {
+
+using graph::Graph;
+
+TEST(QualityReport, IdenticalGraphsHaveUnitRatios) {
+  const Graph g = graph::connected_erdos_renyi(60, 0.2, 3);
+  const QualityReport report = quality_report(g, g);
+  EXPECT_NEAR(report.min_quadratic_ratio, 1.0, 1e-12);
+  EXPECT_NEAR(report.max_quadratic_ratio, 1.0, 1e-12);
+  EXPECT_NEAR(report.min_cut_ratio, 1.0, 1e-12);
+  EXPECT_NEAR(report.max_cut_ratio, 1.0, 1e-12);
+  EXPECT_TRUE(report.sparsifier_connected);
+  EXPECT_DOUBLE_EQ(report.edge_reduction(), 1.0);
+}
+
+TEST(QualityReport, ScaledGraphRatiosMatchScale) {
+  const Graph g = graph::grid2d(6, 6);
+  const QualityReport report = quality_report(g, g.scaled(3.0));
+  EXPECT_NEAR(report.min_quadratic_ratio, 3.0, 1e-12);
+  EXPECT_NEAR(report.max_quadratic_ratio, 3.0, 1e-12);
+  EXPECT_NEAR(report.max_cut_ratio, 3.0, 1e-12);
+}
+
+TEST(QualityReport, ProbeRatiosInsidePencilBounds) {
+  // Gaussian and cut ratios are Rayleigh quotients, so they must lie inside
+  // the exact pencil interval.
+  const Graph g = graph::randomize_weights(graph::complete_graph(50), 0.5, 7);
+  SampleOptions sopt;
+  sopt.t = 2;
+  sopt.seed = 9;
+  const auto sample = parallel_sample(g, sopt);
+  const ApproxBounds exact = exact_relative_bounds(g, sample.sparsifier);
+  const QualityReport report = quality_report(g, sample.sparsifier);
+  EXPECT_GE(report.min_quadratic_ratio, exact.lower - 1e-9);
+  EXPECT_LE(report.max_quadratic_ratio, exact.upper + 1e-9);
+  EXPECT_GE(report.min_cut_ratio, exact.lower - 1e-9);
+  EXPECT_LE(report.max_cut_ratio, exact.upper + 1e-9);
+}
+
+TEST(QualityReport, DetectsDisconnection) {
+  const Graph g = graph::path_graph(6);
+  Graph h(6);
+  h.add_edge(0, 1, 1.0);
+  h.add_edge(2, 3, 1.0);
+  const QualityReport report = quality_report(g, h);
+  EXPECT_FALSE(report.sparsifier_connected);
+  // Some probe separates the components: min quadratic ratio must hit ~0.
+  EXPECT_LT(report.min_quadratic_ratio, 0.5);
+}
+
+TEST(QualityReport, CountsAndWeights) {
+  const Graph g = graph::complete_graph(20);
+  SampleOptions sopt;
+  sopt.t = 1;
+  sopt.seed = 5;
+  const auto sample = parallel_sample(g, sopt);
+  const QualityReport report = quality_report(g, sample.sparsifier);
+  EXPECT_EQ(report.edges_original, g.num_edges());
+  EXPECT_EQ(report.edges_sparsifier, sample.sparsifier.num_edges());
+  EXPECT_DOUBLE_EQ(report.weight_original, g.total_weight());
+  EXPECT_GT(report.edge_reduction(), 1.0);
+}
+
+TEST(QualityReport, VertexMismatchThrows) {
+  EXPECT_THROW(quality_report(graph::path_graph(3), graph::path_graph(4)),
+               spar::Error);
+}
+
+TEST(QualityReport, DeterministicPerSeed) {
+  const Graph g = graph::complete_graph(30);
+  const Graph h = graph::mst(g);
+  QualityOptions opt;
+  opt.seed = 77;
+  const auto a = quality_report(g, h, opt);
+  const auto b = quality_report(g, h, opt);
+  EXPECT_DOUBLE_EQ(a.min_quadratic_ratio, b.min_quadratic_ratio);
+  EXPECT_DOUBLE_EQ(a.max_cut_ratio, b.max_cut_ratio);
+}
+
+}  // namespace
+}  // namespace spar::sparsify

@@ -1,0 +1,131 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace spar::support {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedResets) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 4.0);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 4.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowZeroReturnsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMomentsAreStandard) {
+  Rng rng(21);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(StreamRng, DeterministicPerIndex) {
+  Rng a = stream_rng(99, 4);
+  Rng b = stream_rng(99, 4);
+  EXPECT_EQ(a(), b());
+}
+
+TEST(StreamRng, IndependentAcrossIndices) {
+  Rng a = stream_rng(99, 4);
+  Rng b = stream_rng(99, 5);
+  EXPECT_NE(a(), b());
+}
+
+TEST(StreamUniform, StableAndBounded) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = stream_uniform(123, i);
+    EXPECT_EQ(u, stream_uniform(123, i));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(StreamUniform, MeanNearHalfAcrossIndices) {
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += stream_uniform(7, i);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Mix64, SensitiveToBothArguments) {
+  const std::set<std::uint64_t> values = {mix64(1, 1), mix64(1, 2), mix64(2, 1),
+                                          mix64(2, 2)};
+  EXPECT_EQ(values.size(), 4u);
+}
+
+}  // namespace
+}  // namespace spar::support

@@ -1,0 +1,111 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace spar::support {
+namespace {
+
+TEST(Summarize, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> v = {3.5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Summarize, KnownMoments) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> v = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadP) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(percentile({}, 0.5), Error);
+  EXPECT_THROW(percentile(v, -0.1), Error);
+  EXPECT_THROW(percentile(v, 1.1), Error);
+}
+
+TEST(FitPowerLaw, RecoversExactExponent) {
+  std::vector<double> x, y;
+  for (double v = 1; v <= 64; v *= 2) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v);  // y = 3 x^2
+  }
+  const PowerFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-10);
+  EXPECT_NEAR(fit.coefficient, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitPowerLaw, SublinearExponent) {
+  std::vector<double> x, y;
+  for (double v = 2; v <= 1024; v *= 2) {
+    x.push_back(v);
+    y.push_back(std::sqrt(v));
+  }
+  const PowerFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 0.5, 1e-10);
+}
+
+TEST(FitPowerLaw, RejectsNonPositive) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0, -2.0};
+  EXPECT_THROW(fit_power_law(x, y), Error);
+}
+
+TEST(FitPowerLaw, RejectsMismatchedSizes) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(fit_power_law(x, y), Error);
+}
+
+TEST(Correlation, PerfectPositiveAndNegative) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> up = {2, 4, 6, 8};
+  const std::vector<double> down = {8, 6, 4, 2};
+  EXPECT_NEAR(correlation(x, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(x, down), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesIsZero) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> c = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(correlation(x, c), 0.0);
+}
+
+}  // namespace
+}  // namespace spar::support

@@ -1,0 +1,55 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spar::support {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"n", "m"});
+  t.add_row({"10", "45"});
+  const std::string out = t.to_string("demo");
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("45"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.to_string("x"));
+}
+
+TEST(Table, ExtraCellsDropped) {
+  Table t({"a"});
+  t.add_row({"1", "2", "3"});
+  const std::string out = t.to_string("x");
+  EXPECT_EQ(out.find("2"), std::string::npos);
+}
+
+TEST(Table, CellFormatsDoublesCompactly) {
+  EXPECT_EQ(Table::cell(2.0), "2");
+  EXPECT_EQ(Table::cell(0.5), "0.5");
+  EXPECT_EQ(Table::cell(std::uint64_t{123}), "123");
+  EXPECT_EQ(Table::cell(std::int64_t{-5}), "-5");
+}
+
+TEST(Table, ColumnsAlignAcrossRows) {
+  Table t({"name", "v"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "2"});
+  const std::string out = t.to_string("align");
+  // Both data rows must place the second column at the same offset.
+  const auto row1 = out.find("short");
+  const auto row2 = out.find("a-much-longer-name");
+  ASSERT_NE(row1, std::string::npos);
+  ASSERT_NE(row2, std::string::npos);
+  const auto one = out.find('1', row1);
+  const auto two = out.find('2', row2);
+  EXPECT_EQ(one - row1, two - row2);
+}
+
+}  // namespace
+}  // namespace spar::support

@@ -1,0 +1,44 @@
+#include "support/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace spar::support {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.millis(), 15.0);
+  EXPECT_LT(timer.millis(), 5000.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.reset();
+  EXPECT_LT(timer.millis(), 15.0);
+}
+
+TEST(Timer, SecondsAndMillisConsistent) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = timer.seconds();
+  const double ms = timer.millis();
+  EXPECT_NEAR(ms, s * 1e3, 5.0);  // two reads a moment apart
+}
+
+TEST(Timer, Monotonic) {
+  Timer timer;
+  double prev = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const double now = timer.seconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace spar::support

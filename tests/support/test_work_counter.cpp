@@ -1,0 +1,53 @@
+#include "support/work_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <omp.h>
+
+namespace spar::support {
+namespace {
+
+TEST(WorkCounter, StartsAtZero) {
+  WorkCounter wc;
+  EXPECT_EQ(wc.total(), 0u);
+}
+
+TEST(WorkCounter, AccumulatesSerially) {
+  WorkCounter wc;
+  wc.add(3);
+  wc.add(4);
+  EXPECT_EQ(wc.total(), 7u);
+}
+
+TEST(WorkCounter, ResetClears) {
+  WorkCounter wc;
+  wc.add(10);
+  wc.reset();
+  EXPECT_EQ(wc.total(), 0u);
+}
+
+TEST(WorkCounter, ParallelAccumulationIsExact) {
+  WorkCounter wc;
+  const int iterations = 100000;
+#pragma omp parallel for
+  for (int i = 0; i < iterations; ++i) wc.add(1);
+  EXPECT_EQ(wc.total(), static_cast<std::uint64_t>(iterations));
+}
+
+TEST(WorkScope, NullCounterIsNoop) {
+  const WorkScope scope(nullptr);
+  EXPECT_FALSE(scope.enabled());
+  scope.add(100);  // must not crash
+}
+
+TEST(WorkScope, ForwardsToCounter) {
+  WorkCounter wc;
+  const WorkScope scope(&wc);
+  EXPECT_TRUE(scope.enabled());
+  scope.add(5);
+  scope.add(6);
+  EXPECT_EQ(wc.total(), 11u);
+}
+
+}  // namespace
+}  // namespace spar::support
