@@ -8,13 +8,12 @@
 #include <cstdio>
 #include <vector>
 
-#include <omp.h>
-
 #include "bench/common.hpp"
 #include "graph/csr.hpp"
 #include "linalg/laplacian.hpp"
 #include "spanner/baswana_sen.hpp"
 #include "sparsify/sparsify.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 using namespace spar;
@@ -32,13 +31,13 @@ int main(int argc, char** argv) {
   for (double& v : x) v = rng.normal();
 
   std::vector<int> thread_counts = {1, 2, 4};
-  const int hw = omp_get_num_procs();
-  std::printf("hardware threads available: %d\n", hw);
+  const int hw = support::par::hardware_threads();
+  std::printf("parallel backend: %s\n", support::par::backend_description().c_str());
 
   support::Table table({"threads", "csr build ms", "spanner ms", "sparsify ms",
                         "spmv x32 ms"});
   for (const int threads : thread_counts) {
-    omp_set_num_threads(threads);
+    support::par::set_num_threads(threads);
 
     support::Timer t1;
     const graph::CSRGraph csr(g);
@@ -67,7 +66,7 @@ int main(int argc, char** argv) {
     (void)ids;
     (void)sp;
   }
-  omp_set_num_threads(hw);
+  support::par::set_num_threads(hw);
   table.print("E9: OpenMP strong scaling, er n=" + std::to_string(n));
   std::printf("\nDeterminism note: results are identical across thread counts "
               "(counter-based RNG streams), verified by the test suite.\n");

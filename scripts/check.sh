@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# One-shot verify: configure + build + ctest (the tier-1 command).
+#
+#   scripts/check.sh [BUILD_TYPE] [OPENMP]
+#
+#   BUILD_TYPE  Release (default) | Debug | RelWithDebInfo
+#   OPENMP      ON (default) | OFF
+#
+# Also greps for test sources that exist on disk but are not registered in
+# any tests/**/CMakeLists.txt, so new files cannot be silently skipped.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_type="${1:-Release}"
+openmp="${2:-ON}"
+build_dir="build-check-${build_type,,}-omp${openmp,,}"
+
+# Every tests/**/test_*.cpp must appear in its directory's CMakeLists.txt.
+missing=0
+while IFS= read -r src; do
+  dir="$(dirname "$src")"
+  base="$(basename "$src")"
+  if ! grep -q "$base" "$dir/CMakeLists.txt" 2>/dev/null; then
+    echo "UNREGISTERED TEST SOURCE: $src (add it to $dir/CMakeLists.txt)" >&2
+    missing=1
+  fi
+done < <(find tests -name 'test_*.cpp')
+[ "$missing" -eq 0 ] || exit 1
+
+cmake -B "$build_dir" -S . \
+  -DCMAKE_BUILD_TYPE="$build_type" \
+  -DSPAR_ENABLE_OPENMP="$openmp" \
+  -DSPAR_WERROR=ON
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"

@@ -1,0 +1,192 @@
+#include "dist/dist_spanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparsify/sample.hpp"
+#include "sparsify/sample_core.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "spanner/bs_core.hpp"
+#include "spanner/bundle.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace spar::dist {
+
+using graph::CSRGraph;
+using graph::EdgeId;
+using graph::Graph;
+using graph::kInvalidVertex;
+using graph::Vertex;
+
+namespace {
+
+// Every simulated message is one tag word plus two payload words (an edge id
+// or a (center, coin) pair) -- the O(log n)-bit budget of Theorem 2.
+constexpr std::uint64_t kWordsPerMessage = 3;
+
+// The decision logic lives in spanner/bs_core.hpp, shared with the
+// shared-memory implementation so both make bit-identical choices.
+namespace bs = spar::spanner::detail;
+
+}  // namespace
+
+DistSpannerResult distributed_spanner(const CSRGraph& csr,
+                                      const std::vector<bool>* alive,
+                                      const DistSpannerOptions& options) {
+  const Vertex n = csr.num_vertices();
+  const std::size_t m = csr.num_arcs() / 2;
+  const std::size_t k =
+      options.k != 0 ? options.k : spanner::auto_spanner_k(n);
+  support::WorkScope work(options.work);
+
+  DistSpannerResult result;
+  result.metrics.max_message_words = kWordsPerMessage;
+
+  if (alive != nullptr)
+    SPAR_CHECK(alive->size() == m, "distributed_spanner: alive mask size mismatch");
+  std::vector<bs::EdgeState> state = bs::initial_states(m, alive);
+
+  std::vector<Vertex> center(n), new_center(n, kInvalidVertex);
+  for (Vertex v = 0; v < n; ++v) center[v] = v;
+
+  const double sample_p = bs::sample_probability(n, k);
+  bs::ClusterScratch scratch(n);
+  bs::Decisions decisions;
+  std::vector<std::uint8_t> sampled(n, 0);
+
+  // ---- Phase 1: k-1 clustering iterations (each a protocol super-step) ----
+  for (std::size_t iter = 1; iter < k; ++iter) {
+    // Cluster centers flip their coin locally and disseminate it through the
+    // cluster tree; after iteration i the tree has radius <= i, so the
+    // dissemination plus the neighbour exchange and the selection
+    // announcements cost i + 2 synchronous rounds. Summed over the k-1
+    // iterations this is the Theorem 2 O(log^2 n) round budget.
+    result.metrics.rounds += static_cast<std::uint64_t>(iter) + 2;
+
+    for (Vertex c = 0; c < n; ++c)
+      sampled[c] = bs::cluster_sampled(options.seed, iter, c, sample_p);
+
+    // Every endpoint of an alive edge exchanges (center, coin) with its
+    // neighbour; phase1_decide reports how many such messages each vertex
+    // sends. Each selected spanner edge is announced with one more message.
+    std::uint64_t alive_arcs = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      alive_arcs += bs::phase1_decide(csr, v, center, sampled, state, scratch,
+                                      decisions, new_center, work);
+    }
+    const std::uint64_t added = bs::commit(decisions, state, result.spanner_edges);
+    result.metrics.messages += alive_arcs + added;
+    center.swap(new_center);
+    std::fill(new_center.begin(), new_center.end(), kInvalidVertex);
+  }
+
+  // ---- Phase 2: vertex-cluster joining (one exchange + one announcement) --
+  result.metrics.rounds += 2;
+  std::uint64_t alive_arcs = 0;
+  for (Vertex v = 0; v < n; ++v)
+    alive_arcs += bs::phase2_decide(csr, v, center, state, scratch, decisions, work);
+  const std::uint64_t added = bs::commit(decisions, state, result.spanner_edges);
+  result.metrics.messages += alive_arcs + added;
+  result.metrics.words = result.metrics.messages * kWordsPerMessage;
+
+  std::sort(result.spanner_edges.begin(), result.spanner_edges.end());
+  return result;
+}
+
+DistSampleResult distributed_parallel_sample(const Graph& g,
+                                             const DistSampleOptions& options) {
+  SPAR_CHECK(options.epsilon > 0.0,
+             "distributed_parallel_sample: epsilon must be positive");
+  SPAR_CHECK(options.keep_probability > 0.0 && options.keep_probability <= 1.0,
+             "distributed_parallel_sample: keep_probability must be in (0, 1]");
+
+  DistSampleResult result;
+  result.metrics.max_message_words = kWordsPerMessage;
+  result.t_used =
+      options.t != 0
+          ? options.t
+          : sparsify::theory_bundle_width(g.num_vertices(), options.epsilon);
+
+  const CSRGraph csr(g);
+
+  // Peel the t-bundle with t runs of the distributed spanner protocol.
+  // spanner::detail::peel_bundle and the sparsify::detail seed derivations
+  // are the same code the shared-memory path runs, so the bundle -- and
+  // below, the coin flips -- reproduce the shared-memory sparsifier bit for
+  // bit, while the metrics account for what the network did.
+  const spanner::Bundle bundle = spanner::detail::peel_bundle(
+      g.num_edges(), result.t_used,
+      sparsify::detail::bundle_seed(options.seed),
+      [&](std::uint64_t component_seed, const std::vector<bool>& alive) {
+        DistSpannerOptions sopt;
+        sopt.k = 0;
+        sopt.seed = component_seed;
+        sopt.work = options.work;
+        DistSpannerResult component = distributed_spanner(csr, &alive, sopt);
+        result.metrics.absorb(component.metrics);
+        return std::move(component.spanner_edges);
+      });
+  result.bundle_edges = bundle.bundle_edge_count;
+  result.off_bundle_edges = bundle.off_bundle_edge_count;
+
+  // Off-bundle coins are local: each edge owner evaluates the same pure
+  // function of (seed, edge id) the shared-memory path uses, then announces
+  // only the kept edges (one message each) in a single round.
+  support::WorkScope work(options.work);
+  work.add(g.num_edges());
+  result.sparsifier = sparsify::detail::assemble_sparsifier(
+      g, bundle.in_bundle, options.keep_probability,
+      sparsify::detail::coin_seed(options.seed), &result.sampled_edges);
+  result.metrics.rounds += 1;
+  result.metrics.messages += result.sampled_edges;
+  result.metrics.words += result.sampled_edges * kWordsPerMessage;
+  return result;
+}
+
+DistSparsifyResult distributed_parallel_sparsify(const Graph& g,
+                                                 const DistSparsifyOptions& options) {
+  SPAR_CHECK(options.epsilon > 0.0,
+             "distributed_parallel_sparsify: epsilon must be positive");
+  SPAR_CHECK(options.rho >= 1.0, "distributed_parallel_sparsify: rho must be >= 1");
+
+  DistSparsifyResult result;
+  result.metrics.max_message_words = kWordsPerMessage;
+  const auto rounds_planned =
+      static_cast<std::size_t>(std::ceil(std::log2(std::max(options.rho, 1.0))));
+  if (rounds_planned == 0) {
+    result.sparsifier = g;
+    return result;
+  }
+  const double per_round_epsilon =
+      options.epsilon / static_cast<double>(rounds_planned);
+
+  Graph current = g;
+  for (std::size_t round = 0; round < rounds_planned; ++round) {
+    DistSampleOptions sopt;
+    sopt.epsilon = per_round_epsilon;
+    sopt.t = options.t;
+    sopt.keep_probability = options.keep_probability;
+    sopt.seed = support::mix64(options.seed, round + 1);
+    sopt.work = options.work;
+
+    DistSampleResult sample = distributed_parallel_sample(current, sopt);
+
+    DistRound stats;
+    stats.edges_before = current.num_edges();
+    stats.edges_after = sample.sparsifier.num_edges();
+    stats.metrics = sample.metrics;
+    result.rounds.push_back(stats);
+    result.metrics.absorb(sample.metrics);
+
+    const bool saturated = sample.sampled_edges == 0 &&
+                           sample.bundle_edges == stats.edges_before;
+    current = std::move(sample.sparsifier);
+    if (options.stop_when_saturated && saturated)
+      break;  // bundle swallowed the graph; rest are identities
+  }
+  result.sparsifier = std::move(current);
+  return result;
+}
+
+}  // namespace spar::dist

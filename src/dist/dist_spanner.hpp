@@ -1,0 +1,132 @@
+// Distributed (synchronous message-passing) statements of the paper:
+// Theorem 2 (distributed Baswana-Sen) and Theorem 5's distributed
+// PARALLELSPARSIFY.
+//
+// The protocols run on a simulator of the synchronous CONGEST-style model the
+// paper assumes: one round lets every node send one O(log n)-bit message (a
+// tag word plus two payload words) to each neighbour. The simulator executes
+// the exact same per-vertex decision logic as the shared-memory
+// implementation in src/spanner -- the coins are the same counter-based
+// functions of (seed, iteration, cluster) -- so for a fixed seed the
+// distributed spanner selects the SAME edge set as
+// spanner::baswana_sen_spanner, while additionally accounting for every
+// round, message and word the protocol would put on the wire:
+//
+//  * per clustering iteration i: cluster centers disseminate their coin
+//    through their (radius <= i) cluster tree, every endpoint of an alive
+//    edge exchanges (center, coin) with its neighbour, and each selected
+//    spanner edge is announced -- i + 2 rounds, one message per alive arc
+//    plus one per selection;
+//  * Theorem 2 budgets: O(log^2 n) rounds and O(m log n) messages of
+//    O(log n) bits, which bench_dist_spanner instantiates next to the
+//    measured counts.
+//
+// The simulation is sequential on purpose: its outputs (edge sets AND
+// metrics) are bit-identical regardless of the shared-memory thread count,
+// which tests/integration/test_determinism.cpp pins down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
+#include "support/work_counter.hpp"
+
+namespace spar::dist {
+
+/// Totals a protocol run puts on the simulated network.
+struct DistMetrics {
+  std::uint64_t rounds = 0;    ///< synchronous rounds consumed
+  std::uint64_t messages = 0;  ///< point-to-point messages sent
+  std::uint64_t words = 0;     ///< machine words on the wire (3 per message)
+  std::uint64_t max_message_words = 0;  ///< largest single message, in words
+
+  void absorb(const DistMetrics& other) {
+    rounds += other.rounds;
+    messages += other.messages;
+    words += other.words;
+    if (other.max_message_words > max_message_words)
+      max_message_words = other.max_message_words;
+  }
+};
+
+struct DistSpannerOptions {
+  /// Clustering levels; stretch is 2k-1. 0 = auto (ceil(log2 n)), matching
+  /// spanner::auto_spanner_k.
+  std::size_t k = 0;
+  std::uint64_t seed = 1;
+  support::WorkCounter* work = nullptr;
+};
+
+struct DistSpannerResult {
+  std::vector<graph::EdgeId> spanner_edges;
+  DistMetrics metrics;
+};
+
+/// Theorem 2: distributed Baswana-Sen over the subgraph given by
+/// alive[id] == true (alive == nullptr means all edges). For a fixed seed the
+/// returned edge set equals spanner::baswana_sen_spanner's.
+DistSpannerResult distributed_spanner(const graph::CSRGraph& csr,
+                                      const std::vector<bool>* alive,
+                                      const DistSpannerOptions& options);
+
+struct DistSampleOptions {
+  double epsilon = 0.5;
+  /// Bundle width; 0 = the paper's theoretical t (see sparsify::theory_bundle_width).
+  std::size_t t = 0;
+  double keep_probability = 0.25;
+  std::uint64_t seed = 1;
+  support::WorkCounter* work = nullptr;
+};
+
+struct DistSampleResult {
+  graph::Graph sparsifier;
+  std::size_t bundle_edges = 0;
+  std::size_t off_bundle_edges = 0;
+  std::size_t sampled_edges = 0;
+  std::size_t t_used = 0;
+  DistMetrics metrics;
+};
+
+/// Distributed PARALLELSAMPLE: the t-bundle is peeled with t runs of the
+/// distributed spanner protocol; off-bundle coin flips are local decisions
+/// (the coin is a pure function of seed and edge id) and only the kept edges
+/// are announced. Seeds are derived exactly as in sparsify::parallel_sample,
+/// so the output sparsifier is identical to the shared-memory one.
+DistSampleResult distributed_parallel_sample(const graph::Graph& g,
+                                             const DistSampleOptions& options);
+
+struct DistSparsifyOptions {
+  double epsilon = 0.5;
+  double rho = 4.0;
+  std::size_t t = 0;
+  double keep_probability = 0.25;
+  std::uint64_t seed = 1;
+  support::WorkCounter* work = nullptr;
+  /// Stop once a round has no off-bundle edges left, mirroring
+  /// sparsify::SparsifyOptions::stop_when_saturated (early exit changes
+  /// nothing in the output; further rounds are identities).
+  bool stop_when_saturated = true;
+};
+
+/// One PARALLELSAMPLE round of the distributed sparsifier.
+struct DistRound {
+  std::size_t edges_before = 0;
+  std::size_t edges_after = 0;
+  DistMetrics metrics;
+};
+
+struct DistSparsifyResult {
+  graph::Graph sparsifier;
+  std::vector<DistRound> rounds;
+  DistMetrics metrics;
+};
+
+/// Theorem 5 (distributed statement): ceil(log2 rho) rounds of distributed
+/// PARALLELSAMPLE. Off-bundle mass halves per round, so round 1 dominates the
+/// communication -- bench_dist_sparsify prints the per-round decay.
+DistSparsifyResult distributed_parallel_sparsify(const graph::Graph& g,
+                                                 const DistSparsifyOptions& options);
+
+}  // namespace spar::dist

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <atomic>
 
+#include "support/parallel.hpp"
+
 namespace spar::graph {
+
+namespace par = support::par;
 
 CSRGraph::CSRGraph(const Graph& g) {
   const Vertex n = g.num_vertices();
@@ -14,34 +18,36 @@ CSRGraph::CSRGraph(const Graph& g) {
   // the (cold) offsets array, then prefix-sum sequentially (n is small next to m).
   std::vector<std::atomic<std::size_t>> deg(n);
   for (auto& d : deg) d.store(0, std::memory_order_relaxed);
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(edges.size()); ++i) {
+  par::parallel_for(0, static_cast<std::int64_t>(edges.size()), [&](std::int64_t i) {
     deg[edges[i].u].fetch_add(1, std::memory_order_relaxed);
     deg[edges[i].v].fetch_add(1, std::memory_order_relaxed);
-  }
+  });
   for (Vertex v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + deg[v].load();
 
   arcs_.resize(offsets_[n]);
   std::vector<std::atomic<std::size_t>> cursor(n);
   for (Vertex v = 0; v < n; ++v) cursor[v].store(offsets_[v], std::memory_order_relaxed);
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(edges.size()); ++i) {
+  par::parallel_for(0, static_cast<std::int64_t>(edges.size()), [&](std::int64_t i) {
     const Edge& e = edges[i];
     const auto id = static_cast<EdgeId>(i);
     arcs_[cursor[e.u].fetch_add(1, std::memory_order_relaxed)] = {e.v, e.w, id};
     arcs_[cursor[e.v].fetch_add(1, std::memory_order_relaxed)] = {e.u, e.w, id};
-  }
+  });
 
   // Sort each adjacency list by target for deterministic iteration order
   // (parallel insertion above is thread-order dependent).
-#pragma omp parallel for schedule(dynamic, 64)
-  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
-    std::sort(arcs_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
-              arcs_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]),
-              [](const Arc& a, const Arc& b) {
-                return a.to != b.to ? a.to < b.to : a.id < b.id;
-              });
-  }
+  par::parallel_chunks(
+      0, static_cast<std::int64_t>(n),
+      [&](std::int64_t vb, std::int64_t ve, std::int64_t /*chunk*/, int /*worker*/) {
+        for (std::int64_t v = vb; v < ve; ++v) {
+          std::sort(arcs_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+                    arcs_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]),
+                    [](const Arc& a, const Arc& b) {
+                      return a.to != b.to ? a.to < b.to : a.id < b.id;
+                    });
+        }
+      },
+      {.grain = 64});
 }
 
 std::size_t CSRGraph::max_degree() const {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 
 namespace spar::linalg {
 
@@ -65,9 +66,10 @@ CGReport cg_impl(const LinearOperator& a, const LinearOperator* m_inverse,
     const double rz_next = dot(r, z);
     const double beta = rz_next / rz;
     rz = rz_next;
-#pragma omp parallel for schedule(static) if (n > (1u << 14))
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
-      p[i] = z[i] + beta * p[i];
+    support::par::parallel_for(
+        0, static_cast<std::int64_t>(n),
+        [&](std::int64_t i) { p[i] = z[i] + beta * p[i]; },
+        {.enable = n > (1u << 14)});
     ++report.iterations;
   }
   report.relative_residual = norm2(r) / b_norm;

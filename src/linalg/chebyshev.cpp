@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 
 namespace spar::linalg {
 
@@ -42,9 +43,10 @@ ChebyshevReport chebyshev_solve(const LinearOperator& a, std::span<const double>
       const double half_alpha = half_width * alpha / 2.0;
       beta = half_alpha * half_alpha;
       alpha = 1.0 / (center - beta / alpha);
-#pragma omp parallel for schedule(static) if (n > (1u << 14))
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
-        p[i] = r[i] + beta * p[i];
+      support::par::parallel_for(
+          0, static_cast<std::int64_t>(n),
+          [&](std::int64_t i) { p[i] = r[i] + beta * p[i]; },
+          {.enable = n > (1u << 14)});
     }
     axpy(alpha, p, x);
     a.apply(p, ap);

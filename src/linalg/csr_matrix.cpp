@@ -4,11 +4,14 @@
 #include <cmath>
 #include <tuple>
 
-#include <omp.h>
-
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 
 namespace spar::linalg {
+
+namespace {
+namespace par = support::par;
+}  // namespace
 
 CSRMatrix CSRMatrix::from_triplets(std::size_t rows, std::size_t cols,
                                    std::vector<Triplet> triplets, bool drop_zeros) {
@@ -60,13 +63,16 @@ CSRMatrix CSRMatrix::diagonal(std::span<const double> d) {
 
 void CSRMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   SPAR_CHECK(x.size() == cols_ && y.size() == rows_, "multiply: size mismatch");
-#pragma omp parallel for schedule(static) if (nnz() > (1u << 14))
-  for (std::int64_t r = 0; r < static_cast<std::int64_t>(rows_); ++r) {
-    double sum = 0.0;
-    for (std::size_t k = offsets_[r]; k < offsets_[r + 1]; ++k)
-      sum += values_[k] * x[col_index_[k]];
-    y[r] = sum;
-  }
+  par::parallel_for(
+      0, static_cast<std::int64_t>(rows_),
+      [&](std::int64_t r) {
+        double sum = 0.0;
+        for (std::size_t k = offsets_[static_cast<std::size_t>(r)];
+             k < offsets_[static_cast<std::size_t>(r) + 1]; ++k)
+          sum += values_[k] * x[col_index_[k]];
+        y[static_cast<std::size_t>(r)] = sum;
+      },
+      {.enable = nnz() > (1u << 14)});
 }
 
 Vector CSRMatrix::multiply(std::span<const double> x) const {
@@ -78,13 +84,17 @@ Vector CSRMatrix::multiply(std::span<const double> x) const {
 void CSRMatrix::multiply_add(std::span<const double> x, std::span<double> y,
                              double beta) const {
   SPAR_CHECK(x.size() == cols_ && y.size() == rows_, "multiply_add: size mismatch");
-#pragma omp parallel for schedule(static) if (nnz() > (1u << 14))
-  for (std::int64_t r = 0; r < static_cast<std::int64_t>(rows_); ++r) {
-    double sum = 0.0;
-    for (std::size_t k = offsets_[r]; k < offsets_[r + 1]; ++k)
-      sum += values_[k] * x[col_index_[k]];
-    y[r] = sum + beta * y[r];
-  }
+  par::parallel_for(
+      0, static_cast<std::int64_t>(rows_),
+      [&](std::int64_t r) {
+        double sum = 0.0;
+        for (std::size_t k = offsets_[static_cast<std::size_t>(r)];
+             k < offsets_[static_cast<std::size_t>(r) + 1]; ++k)
+          sum += values_[k] * x[col_index_[k]];
+        y[static_cast<std::size_t>(r)] =
+            sum + beta * y[static_cast<std::size_t>(r)];
+      },
+      {.enable = nnz() > (1u << 14)});
 }
 
 CSRMatrix CSRMatrix::multiply(const CSRMatrix& other) const {
@@ -94,58 +104,80 @@ CSRMatrix CSRMatrix::multiply(const CSRMatrix& other) const {
   c.cols_ = other.cols_;
   c.offsets_.assign(rows_ + 1, 0);
 
-  // Pass 1: count nnz per output row (Gustavson symbolic phase).
+  // Pass 1: count nnz per output row (Gustavson symbolic phase). Each worker
+  // keeps one dense marker array, created lazily on first chunk it runs.
   std::vector<std::size_t> row_nnz(rows_, 0);
-#pragma omp parallel
   {
-    std::vector<std::int32_t> marker(other.cols_, -1);
-#pragma omp for schedule(dynamic, 64)
-    for (std::int64_t r = 0; r < static_cast<std::int64_t>(rows_); ++r) {
-      std::size_t count = 0;
-      for (std::size_t ka = offsets_[r]; ka < offsets_[r + 1]; ++ka) {
-        const std::uint32_t mid = col_index_[ka];
-        for (std::size_t kb = other.offsets_[mid]; kb < other.offsets_[mid + 1]; ++kb) {
-          const std::uint32_t col = other.col_index_[kb];
-          if (marker[col] != r) {
-            marker[col] = static_cast<std::int32_t>(r);
-            ++count;
+    par::WorkerLocal<std::vector<std::int64_t>> markers;
+    par::parallel_chunks(
+        0, static_cast<std::int64_t>(rows_),
+        [&](std::int64_t rb, std::int64_t re, std::int64_t /*chunk*/, int worker) {
+          std::vector<std::int64_t>& marker = markers.local(
+              worker, [&] { return std::vector<std::int64_t>(other.cols_, -1); });
+          for (std::int64_t r = rb; r < re; ++r) {
+            std::size_t count = 0;
+            for (std::size_t ka = offsets_[static_cast<std::size_t>(r)];
+                 ka < offsets_[static_cast<std::size_t>(r) + 1]; ++ka) {
+              const std::uint32_t mid = col_index_[ka];
+              for (std::size_t kb = other.offsets_[mid];
+                   kb < other.offsets_[mid + 1]; ++kb) {
+                const std::uint32_t col = other.col_index_[kb];
+                if (marker[col] != r) {
+                  marker[col] = r;
+                  ++count;
+                }
+              }
+            }
+            row_nnz[static_cast<std::size_t>(r)] = count;
           }
-        }
-      }
-      row_nnz[r] = count;
-    }
+        },
+        {.grain = 64});
   }
   for (std::size_t r = 0; r < rows_; ++r) c.offsets_[r + 1] = c.offsets_[r] + row_nnz[r];
   c.col_index_.resize(c.offsets_[rows_]);
   c.values_.resize(c.offsets_[rows_]);
 
-  // Pass 2: numeric phase with dense accumulator per thread.
-#pragma omp parallel
+  // Pass 2: numeric phase with one dense accumulator per worker; output rows
+  // are disjoint ranges of c, so writes never conflict.
   {
-    std::vector<double> accum(other.cols_, 0.0);
-    std::vector<std::int64_t> marker(other.cols_, -1);
-#pragma omp for schedule(dynamic, 64)
-    for (std::int64_t r = 0; r < static_cast<std::int64_t>(rows_); ++r) {
-      std::size_t head = c.offsets_[r];
-      for (std::size_t ka = offsets_[r]; ka < offsets_[r + 1]; ++ka) {
-        const std::uint32_t mid = col_index_[ka];
-        const double va = values_[ka];
-        for (std::size_t kb = other.offsets_[mid]; kb < other.offsets_[mid + 1]; ++kb) {
-          const std::uint32_t col = other.col_index_[kb];
-          if (marker[col] != r) {
-            marker[col] = r;
-            accum[col] = 0.0;
-            c.col_index_[head++] = col;
+    struct Scratch {
+      std::vector<double> accum;
+      std::vector<std::int64_t> marker;
+      explicit Scratch(std::size_t cols) : accum(cols, 0.0), marker(cols, -1) {}
+    };
+    par::WorkerLocal<Scratch> scratches;
+    par::parallel_chunks(
+        0, static_cast<std::int64_t>(rows_),
+        [&](std::int64_t rb, std::int64_t re, std::int64_t /*chunk*/, int worker) {
+          Scratch& scratch = scratches.local(worker, [&] { return Scratch(other.cols_); });
+          std::vector<double>& accum = scratch.accum;
+          std::vector<std::int64_t>& marker = scratch.marker;
+          for (std::int64_t r = rb; r < re; ++r) {
+            std::size_t head = c.offsets_[static_cast<std::size_t>(r)];
+            for (std::size_t ka = offsets_[static_cast<std::size_t>(r)];
+                 ka < offsets_[static_cast<std::size_t>(r) + 1]; ++ka) {
+              const std::uint32_t mid = col_index_[ka];
+              const double va = values_[ka];
+              for (std::size_t kb = other.offsets_[mid];
+                   kb < other.offsets_[mid + 1]; ++kb) {
+                const std::uint32_t col = other.col_index_[kb];
+                if (marker[col] != r) {
+                  marker[col] = r;
+                  accum[col] = 0.0;
+                  c.col_index_[head++] = col;
+                }
+                accum[col] += va * other.values_[kb];
+              }
+            }
+            // Sort this row's columns for deterministic layout, then write values.
+            std::sort(c.col_index_.begin() +
+                          static_cast<std::ptrdiff_t>(c.offsets_[static_cast<std::size_t>(r)]),
+                      c.col_index_.begin() + static_cast<std::ptrdiff_t>(head));
+            for (std::size_t k = c.offsets_[static_cast<std::size_t>(r)]; k < head; ++k)
+              c.values_[k] = accum[c.col_index_[k]];
           }
-          accum[col] += va * other.values_[kb];
-        }
-      }
-      // Sort this row's columns for deterministic layout, then write values.
-      std::sort(c.col_index_.begin() + static_cast<std::ptrdiff_t>(c.offsets_[r]),
-                c.col_index_.begin() + static_cast<std::ptrdiff_t>(head));
-      for (std::size_t k = c.offsets_[r]; k < head; ++k)
-        c.values_[k] = accum[c.col_index_[k]];
-    }
+        },
+        {.grain = 64});
   }
   return c;
 }
@@ -161,10 +193,11 @@ Vector CSRMatrix::diagonal_vector() const {
 CSRMatrix CSRMatrix::scaled_symmetric(std::span<const double> s) const {
   SPAR_CHECK(rows_ == cols_ && s.size() == rows_, "scaled_symmetric: size mismatch");
   CSRMatrix out = *this;
-#pragma omp parallel for schedule(static)
-  for (std::int64_t r = 0; r < static_cast<std::int64_t>(rows_); ++r)
-    for (std::size_t k = offsets_[r]; k < offsets_[r + 1]; ++k)
-      out.values_[k] = s[r] * values_[k] * s[col_index_[k]];
+  par::parallel_for(0, static_cast<std::int64_t>(rows_), [&](std::int64_t r) {
+    for (std::size_t k = offsets_[static_cast<std::size_t>(r)];
+         k < offsets_[static_cast<std::size_t>(r) + 1]; ++k)
+      out.values_[k] = s[static_cast<std::size_t>(r)] * values_[k] * s[col_index_[k]];
+  });
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 
 namespace spar::linalg {
 
@@ -39,16 +40,18 @@ Vector DenseMatrix::multiply(std::span<const double> x) const {
 DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
   SPAR_CHECK(cols_ == other.rows_, "DenseMatrix::multiply: shape mismatch");
   DenseMatrix out(rows_, other.cols_);
-#pragma omp parallel for schedule(static) if (rows_ * other.cols_ > (1u << 16))
-  for (std::int64_t c = 0; c < static_cast<std::int64_t>(other.cols_); ++c) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double b = other.at(k, c);
-      if (b == 0.0) continue;
-      const auto colk = column(k);
-      auto outc = out.column(c);
-      for (std::size_t r = 0; r < rows_; ++r) outc[r] += colk[r] * b;
-    }
-  }
+  support::par::parallel_for(
+      0, static_cast<std::int64_t>(other.cols_),
+      [&](std::int64_t c) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+          const double b = other.at(k, static_cast<std::size_t>(c));
+          if (b == 0.0) continue;
+          const auto colk = column(k);
+          auto outc = out.column(static_cast<std::size_t>(c));
+          for (std::size_t r = 0; r < rows_; ++r) outc[r] += colk[r] * b;
+        }
+      },
+      {.enable = rows_ * other.cols_ > (1u << 16)});
   return out;
 }
 

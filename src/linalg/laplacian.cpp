@@ -1,8 +1,13 @@
 #include "linalg/laplacian.hpp"
 
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 
 namespace spar::linalg {
+
+namespace {
+namespace par = support::par;
+}  // namespace
 
 CSRMatrix laplacian_matrix(const graph::Graph& g) {
   std::vector<Triplet> t;
@@ -46,14 +51,29 @@ void LaplacianOperator::apply(std::span<const double> x, std::span<double> y) co
   // chunks with atomic adds -- measured faster than building CSR for one-shot
   // applies, and exact either way.
   const auto edges = g_->edges();
-#pragma omp parallel for schedule(static) if (edges.size() > (1u << 15))
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(edges.size()); ++i) {
+  const bool parallel = edges.size() > (1u << 15) && par::max_threads() > 1;
+  if (!parallel) {
+    for (const graph::Edge& e : edges) {
+      const double flow = e.w * (x[e.u] - x[e.v]);
+      y[e.u] += flow;
+      y[e.v] -= flow;
+    }
+    return;
+  }
+  // Edge-parallel scatter would race on y; atomics would fix the race but
+  // leave the floating-point accumulation order thread-dependent, breaking
+  // the library-wide bit-determinism contract. Instead: compute all flows in
+  // parallel (the multiplies), then scatter serially in edge order -- the
+  // exact order of the serial path, so results are identical to it. The flow
+  // buffer lives on the operator so repeated applies (CG) do not reallocate.
+  flow_scratch_.resize(edges.size());
+  par::parallel_for(0, static_cast<std::int64_t>(edges.size()), [&](std::int64_t i) {
     const graph::Edge& e = edges[i];
-    const double flow = e.w * (x[e.u] - x[e.v]);
-#pragma omp atomic
-    y[e.u] += flow;
-#pragma omp atomic
-    y[e.v] -= flow;
+    flow_scratch_[static_cast<std::size_t>(i)] = e.w * (x[e.u] - x[e.v]);
+  });
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    y[edges[i].u] += flow_scratch_[i];
+    y[edges[i].v] -= flow_scratch_[i];
   }
 }
 
@@ -70,15 +90,14 @@ double LaplacianOperator::quadratic_form(std::span<const double> x) const {
 double laplacian_quadratic_form(const graph::Graph& g, std::span<const double> x) {
   SPAR_CHECK(x.size() == g.num_vertices(), "quadratic_form: size mismatch");
   const auto edges = g.edges();
-  double sum = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : sum) \
-    if (edges.size() > (1u << 15))
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(edges.size()); ++i) {
-    const graph::Edge& e = edges[i];
-    const double d = x[e.u] - x[e.v];
-    sum += e.w * d * d;
-  }
-  return sum;
+  return par::parallel_sum(
+      0, static_cast<std::int64_t>(edges.size()),
+      [&](std::int64_t i) {
+        const graph::Edge& e = edges[i];
+        const double d = x[e.u] - x[e.v];
+        return e.w * d * d;
+      },
+      {.enable = edges.size() > (1u << 15)});
 }
 
 }  // namespace spar::linalg

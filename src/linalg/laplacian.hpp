@@ -37,6 +37,11 @@ class LaplacianOperator {
 
  private:
   const graph::Graph* g_;
+  /// Per-edge flow buffer reused across apply() calls on the parallel path
+  /// (avoids an O(m) allocation per CG iteration). Mutated under const:
+  /// concurrent apply() calls on the SAME operator are not supported -- make
+  /// one operator per thread (construction is a pointer copy).
+  mutable std::vector<double> flow_scratch_;
 };
 
 /// Exact quadratic form without constructing an operator.

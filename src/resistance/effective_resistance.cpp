@@ -7,6 +7,7 @@
 #include "linalg/cg.hpp"
 #include "linalg/laplacian.hpp"
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace spar::resistance {
@@ -83,11 +84,13 @@ Vector approx_effective_resistances(const Graph& g,
     cg.max_iterations = options.cg_max_iterations;
     cg.project_constant = true;
     linalg::conjugate_gradient(op, rhs, z, cg);
-#pragma omp parallel for schedule(static) if (edges.size() > (1u << 15))
-    for (std::int64_t eidx = 0; eidx < static_cast<std::int64_t>(edges.size()); ++eidx) {
-      const double d = z[edges[eidx].u] - z[edges[eidx].v];
-      r[eidx] += d * d;
-    }
+    support::par::parallel_for(
+        0, static_cast<std::int64_t>(edges.size()),
+        [&](std::int64_t eidx) {
+          const double d = z[edges[eidx].u] - z[edges[eidx].v];
+          r[eidx] += d * d;
+        },
+        {.enable = edges.size() > (1u << 15)});
   }
   return r;
 }

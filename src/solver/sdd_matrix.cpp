@@ -2,6 +2,7 @@
 
 #include "linalg/laplacian.hpp"
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 
 namespace spar::solver {
 
@@ -33,8 +34,9 @@ void SDDMatrix::apply(std::span<const double> x, std::span<double> y) const {
   const linalg::LaplacianOperator lap(graph_);
   lap.apply(x, y);
   const auto n = static_cast<std::int64_t>(dimension());
-#pragma omp parallel for schedule(static) if (n > (1 << 14))
-  for (std::int64_t i = 0; i < n; ++i) y[i] += slack_[i] * x[i];
+  support::par::parallel_for(
+      0, n, [&](std::int64_t i) { y[i] += slack_[i] * x[i]; },
+      {.enable = n > (1 << 14)});
 }
 
 Vector SDDMatrix::apply(std::span<const double> x) const {

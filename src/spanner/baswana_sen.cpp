@@ -1,12 +1,10 @@
 #include "spanner/baswana_sen.hpp"
 
 #include <algorithm>
-#include <cmath>
 
-#include <omp.h>
-
+#include "spanner/bs_core.hpp"
 #include "support/assert.hpp"
-#include "support/rng.hpp"
+#include "support/parallel.hpp"
 
 namespace spar::spanner {
 
@@ -18,74 +16,10 @@ using graph::Vertex;
 
 namespace {
 
-enum class EdgeState : std::uint8_t { kDead = 0, kAlive = 1, kSpanner = 2 };
-
-// Deterministic tie-break for "lightest": (length, edge id) lexicographic.
-struct Light {
-  double len = 0.0;
-  EdgeId id = graph::kInvalidEdge;
-
-  bool operator<(const Light& other) const {
-    if (len != other.len) return len < other.len;
-    return id < other.id;
-  }
-};
-
-// Per-thread scratch for grouping a vertex's alive arcs by adjacent cluster
-// with the timestamp trick (O(deg) per vertex, no hashing).
-struct ClusterScratch {
-  std::vector<Vertex> stamp;       // stamp[c] == token  <=>  entry valid
-  std::vector<Light> best;         // lightest arc to cluster c
-  std::vector<Vertex> touched;     // clusters seen for current vertex
-  Vertex token = kInvalidVertex;
-
-  explicit ClusterScratch(std::size_t n)
-      : stamp(n, kInvalidVertex), best(n) {}
-
-  void begin(Vertex v) {
-    token = v;
-    touched.clear();
-  }
-
-  void offer(Vertex cluster, Light candidate) {
-    if (stamp[cluster] != token) {
-      stamp[cluster] = token;
-      best[cluster] = candidate;
-      touched.push_back(cluster);
-    } else if (candidate < best[cluster]) {
-      best[cluster] = candidate;
-    }
-  }
-};
-
-// Decisions each thread accumulates, committed after the parallel region.
-struct Decisions {
-  std::vector<EdgeId> discard;
-  std::vector<EdgeId> add;
-};
-
-void commit(std::vector<Decisions>& per_thread, std::vector<EdgeState>& state,
-            std::vector<EdgeId>& spanner_edges) {
-  // Discards first, then spanner marks: an edge both discarded (by one
-  // endpoint) and selected (by the other) must stay -- keeping extra edges
-  // never hurts stretch, and Baswana-Sen's analysis adds it.
-  for (const Decisions& d : per_thread)
-    for (EdgeId id : d.discard) state[id] = EdgeState::kDead;
-  std::vector<EdgeId> adds;
-  for (const Decisions& d : per_thread)
-    adds.insert(adds.end(), d.add.begin(), d.add.end());
-  std::sort(adds.begin(), adds.end());  // deterministic output order
-  for (EdgeId id : adds) {
-    if (state[id] != EdgeState::kSpanner) {
-      state[id] = EdgeState::kSpanner;
-      spanner_edges.push_back(id);
-    }
-  }
-  for (Decisions& d : per_thread) {
-    d.discard.clear();
-    d.add.clear();
-  }
-}
+namespace par = support::par;
+using detail::ClusterScratch;
+using detail::Decisions;
+using detail::EdgeState;
 
 }  // namespace
 
@@ -104,150 +38,62 @@ std::vector<EdgeId> baswana_sen_spanner(const CSRGraph& csr,
   const std::size_t k = options.k != 0 ? options.k : auto_spanner_k(n);
   support::WorkScope work(options.work);
 
-  std::vector<EdgeState> state(m, EdgeState::kDead);
-  if (alive != nullptr) {
+  if (alive != nullptr)
     SPAR_CHECK(alive->size() == m, "baswana_sen_spanner: alive mask size mismatch");
-    for (std::size_t id = 0; id < m; ++id)
-      if ((*alive)[id]) state[id] = EdgeState::kAlive;
-  } else {
-    std::fill(state.begin(), state.end(), EdgeState::kAlive);
-  }
+  std::vector<EdgeState> state = detail::initial_states(m, alive);
 
   std::vector<EdgeId> spanner_edges;
   std::vector<Vertex> center(n), new_center(n, kInvalidVertex);
   for (Vertex v = 0; v < n; ++v) center[v] = v;
 
-  const double sample_p = n > 1 ? std::pow(static_cast<double>(n),
-                                           -1.0 / static_cast<double>(k))
-                                : 1.0;
-  const int num_threads = omp_get_max_threads();
-  std::vector<Decisions> decisions(static_cast<std::size_t>(num_threads));
+  const double sample_p = detail::sample_probability(n, k);
+  std::vector<Decisions> decisions(static_cast<std::size_t>(par::max_threads()));
+  // Per-worker O(n) grouping scratch, reused across iterations (its epoch
+  // token self-invalidates between vertices, so carry-over is safe).
+  par::WorkerLocal<ClusterScratch> scratches;
+  const auto scratch_for = [&](int worker) -> ClusterScratch& {
+    return scratches.local(worker, [&] { return ClusterScratch(n); });
+  };
   std::vector<std::uint8_t> sampled(n, 0);
 
   // ---- Phase 1: k-1 clustering iterations ----------------------------------
   for (std::size_t iter = 1; iter < k; ++iter) {
     // Independent coin per cluster id per iteration; coins are a pure
     // function of (seed, iter, center) so any thread layout sees the same.
-#pragma omp parallel for schedule(static)
-    for (std::int64_t c = 0; c < static_cast<std::int64_t>(n); ++c) {
-      sampled[c] = support::stream_uniform(
-                       options.seed, support::mix64(iter, static_cast<std::uint64_t>(c))) <
-                   sample_p;
-    }
+    par::parallel_for(0, static_cast<std::int64_t>(n), [&](std::int64_t c) {
+      sampled[static_cast<std::size_t>(c)] = detail::cluster_sampled(
+          options.seed, iter, static_cast<Vertex>(c), sample_p);
+    });
 
-#pragma omp parallel
-    {
-      ClusterScratch scratch(n);
-      Decisions& mine = decisions[static_cast<std::size_t>(omp_get_thread_num())];
-
-#pragma omp for schedule(dynamic, 128)
-      for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
-        const auto v = static_cast<Vertex>(vi);
-        const Vertex cv = center[v];
-        if (cv == kInvalidVertex) continue;       // retired in an earlier round
-        if (sampled[cv]) {                        // case (a): cluster survives
-          new_center[v] = cv;
-          continue;
-        }
-
-        // Group alive arcs by adjacent cluster.
-        scratch.begin(v);
-        bool any_alive = false;
-        const auto nbrs = csr.neighbors(v);
-        work.add(nbrs.size());
-        for (const graph::Arc& arc : nbrs) {
-          if (state[arc.id] != EdgeState::kAlive) continue;
-          any_alive = true;
-          const Vertex cu = center[arc.to];
-          SPAR_DASSERT(cu != kInvalidVertex);
-          if (cu == cv) continue;  // intra-cluster: discarded below
-          scratch.offer(cu, {1.0 / arc.w, arc.id});
-        }
-        if (!any_alive) {
-          new_center[v] = kInvalidVertex;
-          continue;
-        }
-
-        // Lightest edge into a *sampled* adjacent cluster, if any.
-        Vertex joined = kInvalidVertex;
-        Light join_edge;
-        for (Vertex c : scratch.touched) {
-          if (!sampled[c]) continue;
-          if (joined == kInvalidVertex || scratch.best[c] < join_edge) {
-            joined = c;
-            join_edge = scratch.best[c];
+    par::parallel_chunks(
+        0, static_cast<std::int64_t>(n),
+        [&](std::int64_t vb, std::int64_t ve, std::int64_t /*chunk*/, int worker) {
+          ClusterScratch& scratch = scratch_for(worker);
+          Decisions& mine = decisions[static_cast<std::size_t>(worker)];
+          for (std::int64_t vi = vb; vi < ve; ++vi) {
+            detail::phase1_decide(csr, static_cast<Vertex>(vi), center, sampled,
+                                  state, scratch, mine, new_center, work);
           }
-        }
-
-        if (joined != kInvalidVertex) {
-          // Case (b): join `joined` via its lightest edge; also connect to
-          // every strictly lighter cluster and cut all edges to those
-          // clusters, to the new cluster, and inside the old cluster.
-          new_center[v] = joined;
-          mine.add.push_back(join_edge.id);
-          for (Vertex c : scratch.touched) {
-            if (c != joined && scratch.best[c] < join_edge)
-              mine.add.push_back(scratch.best[c].id);
-          }
-          for (const graph::Arc& arc : nbrs) {
-            if (state[arc.id] != EdgeState::kAlive) continue;
-            const Vertex cu = center[arc.to];
-            if (cu == cv || cu == joined ||
-                (cu != cv && scratch.best[cu] < join_edge)) {
-              mine.discard.push_back(arc.id);
-            }
-          }
-        } else {
-          // Case (c): no sampled neighbour cluster. Connect to every
-          // adjacent cluster, discard everything, and retire.
-          new_center[v] = kInvalidVertex;
-          for (Vertex c : scratch.touched) mine.add.push_back(scratch.best[c].id);
-          for (const graph::Arc& arc : nbrs) {
-            if (state[arc.id] == EdgeState::kAlive) mine.discard.push_back(arc.id);
-          }
-        }
-      }
-    }
-    commit(decisions, state, spanner_edges);
+        },
+        {.grain = 128});
+    detail::commit(decisions, state, spanner_edges);
     center.swap(new_center);
     std::fill(new_center.begin(), new_center.end(), kInvalidVertex);
   }
 
   // ---- Phase 2: vertex-cluster joining -------------------------------------
-#pragma omp parallel
-  {
-    ClusterScratch scratch(n);
-    Decisions& mine = decisions[static_cast<std::size_t>(omp_get_thread_num())];
-
-#pragma omp for schedule(dynamic, 128)
-    for (std::int64_t vi = 0; vi < static_cast<std::int64_t>(n); ++vi) {
-      const auto v = static_cast<Vertex>(vi);
-      const Vertex cv = center[v];
-      scratch.begin(v);
-      const auto nbrs = csr.neighbors(v);
-      work.add(nbrs.size());
-      bool any = false;
-      for (const graph::Arc& arc : nbrs) {
-        if (state[arc.id] != EdgeState::kAlive) continue;
-        any = true;
-        const Vertex cu = center[arc.to];
-        SPAR_DASSERT(cu != kInvalidVertex && cv != kInvalidVertex);
-        if (cu == cv) {
-          mine.discard.push_back(arc.id);  // intra-cluster
-          continue;
+  par::parallel_chunks(
+      0, static_cast<std::int64_t>(n),
+      [&](std::int64_t vb, std::int64_t ve, std::int64_t /*chunk*/, int worker) {
+        ClusterScratch& scratch = scratch_for(worker);
+        Decisions& mine = decisions[static_cast<std::size_t>(worker)];
+        for (std::int64_t vi = vb; vi < ve; ++vi) {
+          detail::phase2_decide(csr, static_cast<Vertex>(vi), center, state,
+                                scratch, mine, work);
         }
-        scratch.offer(cu, {1.0 / arc.w, arc.id});
-      }
-      if (!any) continue;
-      for (Vertex c : scratch.touched) mine.add.push_back(scratch.best[c].id);
-      for (const graph::Arc& arc : nbrs) {
-        if (state[arc.id] != EdgeState::kAlive) continue;
-        const Vertex cu = center[arc.to];
-        if (cu != cv && scratch.best[cu].id != arc.id) mine.discard.push_back(arc.id);
-      }
-    }
-  }
-  commit(decisions, state, spanner_edges);
+      },
+      {.grain = 128});
+  detail::commit(decisions, state, spanner_edges);
 
   std::sort(spanner_edges.begin(), spanner_edges.end());
   return spanner_edges;

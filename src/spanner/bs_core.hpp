@@ -1,0 +1,259 @@
+// Internal decision core shared by the shared-memory Baswana-Sen
+// implementation (baswana_sen.cpp) and the distributed protocol simulator
+// (dist/dist_spanner.cpp).
+//
+// Both must make BIT-IDENTICAL per-vertex decisions -- the simulator's
+// contract is that, for a fixed seed, the protocol selects exactly the edges
+// the CRCW implementation selects (pinned by
+// tests/integration/test_parallel_determinism.cpp). Keeping the tie-break,
+// the case (a)/(b)/(c) analysis, and the commit ordering in one header makes
+// that contract un-breakable by a one-sided edit.
+//
+// Not installed API: everything here lives in spar::spanner::detail.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "support/work_counter.hpp"
+
+namespace spar::spanner::detail {
+
+enum class EdgeState : std::uint8_t { kDead = 0, kAlive = 1, kSpanner = 2 };
+
+// Deterministic tie-break for "lightest": (length, edge id) lexicographic.
+struct Light {
+  double len = 0.0;
+  graph::EdgeId id = graph::kInvalidEdge;
+
+  bool operator<(const Light& other) const {
+    if (len != other.len) return len < other.len;
+    return id < other.id;
+  }
+};
+
+// Per-worker scratch for grouping a vertex's alive arcs by adjacent cluster
+// with the timestamp trick (O(deg) per vertex, no hashing). The token is a
+// monotone epoch, NOT the vertex id: the scratch is reused across clustering
+// iterations, and a vertex-id token would treat iteration i-1's entries for
+// the same vertex as valid in iteration i.
+struct ClusterScratch {
+  std::vector<std::uint64_t> stamp;  // stamp[c] == token  <=>  entry valid
+  std::vector<Light> best;           // lightest arc to cluster c
+  std::vector<graph::Vertex> touched;  // clusters seen for current vertex
+  std::uint64_t token = 0;
+
+  explicit ClusterScratch(std::size_t n) : stamp(n, 0), best(n) {}
+
+  void begin() {
+    ++token;
+    touched.clear();
+  }
+
+  void offer(graph::Vertex cluster, Light candidate) {
+    if (stamp[cluster] != token) {
+      stamp[cluster] = token;
+      best[cluster] = candidate;
+      touched.push_back(cluster);
+    } else if (candidate < best[cluster]) {
+      best[cluster] = candidate;
+    }
+  }
+};
+
+// Decisions a worker accumulates against the iteration snapshot, committed
+// only after every vertex has decided (the synchronous super-step).
+struct Decisions {
+  std::vector<graph::EdgeId> discard;
+  std::vector<graph::EdgeId> add;
+
+  void clear() {
+    discard.clear();
+    add.clear();
+  }
+};
+
+/// The per-(cluster, iteration) sampling coin: a pure function of
+/// (seed, iter, cluster), so any thread layout -- or network node -- sees the
+/// same coin.
+inline bool cluster_sampled(std::uint64_t seed, std::size_t iter,
+                            graph::Vertex cluster, double sample_p) {
+  return support::stream_uniform(
+             seed, support::mix64(iter, static_cast<std::uint64_t>(cluster))) <
+         sample_p;
+}
+
+/// n^(-1/k), the per-iteration cluster survival probability.
+inline double sample_probability(graph::Vertex n, std::size_t k) {
+  return n > 1 ? std::pow(static_cast<double>(n), -1.0 / static_cast<double>(k))
+               : 1.0;
+}
+
+/// One vertex's phase-1 decision against the snapshot (center, sampled,
+/// state). Appends add/discard decisions to `out`, writes new_center[v], and
+/// returns the number of alive arcs scanned (== messages v sends in the
+/// distributed protocol's exchange step).
+inline std::uint64_t phase1_decide(const graph::CSRGraph& csr, graph::Vertex v,
+                                   const std::vector<graph::Vertex>& center,
+                                   const std::vector<std::uint8_t>& sampled,
+                                   const std::vector<EdgeState>& state,
+                                   ClusterScratch& scratch, Decisions& out,
+                                   std::vector<graph::Vertex>& new_center,
+                                   const support::WorkScope& work) {
+  using graph::kInvalidVertex;
+  using graph::Vertex;
+
+  const Vertex cv = center[v];
+  if (cv == kInvalidVertex) return 0;  // retired in an earlier round
+  if (sampled[cv]) {                   // case (a): cluster survives
+    new_center[v] = cv;
+    return 0;
+  }
+
+  // Group alive arcs by adjacent cluster.
+  scratch.begin();
+  std::uint64_t alive_arcs = 0;
+  const auto nbrs = csr.neighbors(v);
+  work.add(nbrs.size());
+  for (const graph::Arc& arc : nbrs) {
+    if (state[arc.id] != EdgeState::kAlive) continue;
+    ++alive_arcs;
+    const Vertex cu = center[arc.to];
+    SPAR_DASSERT(cu != kInvalidVertex);
+    if (cu == cv) continue;  // intra-cluster: discarded below
+    scratch.offer(cu, {1.0 / arc.w, arc.id});
+  }
+  if (alive_arcs == 0) {
+    new_center[v] = kInvalidVertex;
+    return 0;
+  }
+
+  // Lightest edge into a *sampled* adjacent cluster, if any.
+  Vertex joined = kInvalidVertex;
+  Light join_edge;
+  for (Vertex c : scratch.touched) {
+    if (!sampled[c]) continue;
+    if (joined == kInvalidVertex || scratch.best[c] < join_edge) {
+      joined = c;
+      join_edge = scratch.best[c];
+    }
+  }
+
+  if (joined != kInvalidVertex) {
+    // Case (b): join `joined` via its lightest edge; also connect to every
+    // strictly lighter cluster and cut all edges to those clusters, to the
+    // new cluster, and inside the old cluster.
+    new_center[v] = joined;
+    out.add.push_back(join_edge.id);
+    for (Vertex c : scratch.touched) {
+      if (c != joined && scratch.best[c] < join_edge)
+        out.add.push_back(scratch.best[c].id);
+    }
+    for (const graph::Arc& arc : nbrs) {
+      if (state[arc.id] != EdgeState::kAlive) continue;
+      const Vertex cu = center[arc.to];
+      if (cu == cv || cu == joined || (cu != cv && scratch.best[cu] < join_edge)) {
+        out.discard.push_back(arc.id);
+      }
+    }
+  } else {
+    // Case (c): no sampled neighbour cluster. Connect to every adjacent
+    // cluster, discard everything, and retire.
+    new_center[v] = kInvalidVertex;
+    for (Vertex c : scratch.touched) out.add.push_back(scratch.best[c].id);
+    for (const graph::Arc& arc : nbrs) {
+      if (state[arc.id] == EdgeState::kAlive) out.discard.push_back(arc.id);
+    }
+  }
+  return alive_arcs;
+}
+
+/// One vertex's phase-2 (vertex-cluster joining) decision. Same conventions
+/// as phase1_decide.
+inline std::uint64_t phase2_decide(const graph::CSRGraph& csr, graph::Vertex v,
+                                   const std::vector<graph::Vertex>& center,
+                                   const std::vector<EdgeState>& state,
+                                   ClusterScratch& scratch, Decisions& out,
+                                   const support::WorkScope& work) {
+  using graph::kInvalidVertex;
+  using graph::Vertex;
+
+  const Vertex cv = center[v];
+  scratch.begin();
+  const auto nbrs = csr.neighbors(v);
+  work.add(nbrs.size());
+  std::uint64_t alive_arcs = 0;
+  for (const graph::Arc& arc : nbrs) {
+    if (state[arc.id] != EdgeState::kAlive) continue;
+    ++alive_arcs;
+    const Vertex cu = center[arc.to];
+    SPAR_DASSERT(cu != kInvalidVertex && cv != kInvalidVertex);
+    if (cu == cv) {
+      out.discard.push_back(arc.id);  // intra-cluster
+      continue;
+    }
+    scratch.offer(cu, {1.0 / arc.w, arc.id});
+  }
+  if (alive_arcs == 0) return 0;
+  for (Vertex c : scratch.touched) out.add.push_back(scratch.best[c].id);
+  for (const graph::Arc& arc : nbrs) {
+    if (state[arc.id] != EdgeState::kAlive) continue;
+    const Vertex cu = center[arc.to];
+    if (cu != cv && scratch.best[cu].id != arc.id) out.discard.push_back(arc.id);
+  }
+  return alive_arcs;
+}
+
+/// Commit one super-step: discards first, then spanner marks in sorted
+/// edge-id order. An edge both discarded (by one endpoint) and selected (by
+/// the other) must stay -- keeping extra edges never hurts stretch, and
+/// Baswana-Sen's analysis adds it. Returns how many edges were newly marked.
+inline std::uint64_t commit(Decisions& d, std::vector<EdgeState>& state,
+                            std::vector<graph::EdgeId>& spanner_edges) {
+  for (graph::EdgeId id : d.discard) state[id] = EdgeState::kDead;
+  std::sort(d.add.begin(), d.add.end());  // deterministic output order
+  std::uint64_t added = 0;
+  for (graph::EdgeId id : d.add) {
+    if (state[id] != EdgeState::kSpanner) {
+      state[id] = EdgeState::kSpanner;
+      spanner_edges.push_back(id);
+      ++added;
+    }
+  }
+  d.clear();
+  return added;
+}
+
+/// Multi-worker commit: merges every worker's decisions (worker order is
+/// irrelevant -- discards are order-free and adds get sorted) into one batch.
+inline std::uint64_t commit(std::vector<Decisions>& per_worker,
+                            std::vector<EdgeState>& state,
+                            std::vector<graph::EdgeId>& spanner_edges) {
+  Decisions merged;
+  for (Decisions& d : per_worker) {
+    merged.discard.insert(merged.discard.end(), d.discard.begin(), d.discard.end());
+    merged.add.insert(merged.add.end(), d.add.begin(), d.add.end());
+    d.clear();
+  }
+  return commit(merged, state, spanner_edges);
+}
+
+/// Initial edge states from an optional alive mask (nullptr = all alive).
+inline std::vector<EdgeState> initial_states(std::size_t m,
+                                             const std::vector<bool>* alive) {
+  std::vector<EdgeState> state(m, EdgeState::kDead);
+  if (alive != nullptr) {
+    for (std::size_t id = 0; id < m; ++id)
+      if ((*alive)[id]) state[id] = EdgeState::kAlive;
+  } else {
+    std::fill(state.begin(), state.end(), EdgeState::kAlive);
+  }
+  return state;
+}
+
+}  // namespace spar::spanner::detail

@@ -27,31 +27,15 @@ Bundle t_bundle(const Graph& g, const BundleOptions& options) {
 
 Bundle t_bundle(const Graph& g, const CSRGraph& csr, const BundleOptions& options) {
   SPAR_CHECK(options.t >= 1, "t_bundle: t must be >= 1");
-  const std::size_t m = g.num_edges();
-
-  Bundle bundle;
-  bundle.in_bundle.assign(m, false);
-  std::vector<bool> alive(m, true);
-  std::size_t alive_count = m;
-
-  for (std::size_t i = 0; i < options.t && alive_count > 0; ++i) {
-    SpannerOptions sopt;
-    sopt.k = options.k;
-    sopt.seed = support::mix64(options.seed, i + 1);
-    sopt.work = options.work;
-    std::vector<EdgeId> ids = baswana_sen_spanner(csr, &alive, sopt);
-    for (EdgeId id : ids) {
-      SPAR_DASSERT(alive[id]);
-      alive[id] = false;
-      bundle.in_bundle[id] = true;
-    }
-    alive_count -= ids.size();
-    bundle.components.push_back(std::move(ids));
-  }
-
-  bundle.bundle_edge_count = m - alive_count;
-  bundle.off_bundle_edge_count = alive_count;
-  return bundle;
+  return detail::peel_bundle(
+      g.num_edges(), options.t, options.seed,
+      [&](std::uint64_t component_seed, const std::vector<bool>& alive) {
+        SpannerOptions sopt;
+        sopt.k = options.k;
+        sopt.seed = component_seed;
+        sopt.work = options.work;
+        return baswana_sen_spanner(csr, &alive, sopt);
+      });
 }
 
 Bundle tree_bundle(const Graph& g, const BundleOptions& options) {

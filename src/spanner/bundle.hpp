@@ -11,6 +11,8 @@
 #include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "spanner/baswana_sen.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
 
 namespace spar::spanner {
 
@@ -49,5 +51,38 @@ Bundle t_bundle(const graph::Graph& g, const graph::CSRGraph& csr,
 /// Remark 2 variant: components are low-stretch spanning trees instead of
 /// spanners, shrinking the bundle from O(t n log n) to t(n-1) edges.
 Bundle tree_bundle(const graph::Graph& g, const BundleOptions& options);
+
+namespace detail {
+
+/// Generic t-bundle peel shared by t_bundle and the distributed simulator,
+/// so the per-component seed derivation (mix64(seed, i+1)) and the alive-mask
+/// bookkeeping stay identical in both. `spanner_fn(component_seed, alive)`
+/// returns the component's edge ids, which must all be alive.
+template <typename SpannerFn>
+Bundle peel_bundle(std::size_t m, std::size_t t, std::uint64_t seed,
+                   SpannerFn&& spanner_fn) {
+  Bundle bundle;
+  bundle.in_bundle.assign(m, false);
+  std::vector<bool> alive(m, true);
+  std::size_t alive_count = m;
+
+  for (std::size_t i = 0; i < t && alive_count > 0; ++i) {
+    std::vector<graph::EdgeId> ids =
+        spanner_fn(support::mix64(seed, i + 1), alive);
+    for (graph::EdgeId id : ids) {
+      SPAR_DASSERT(alive[id]);
+      alive[id] = false;
+      bundle.in_bundle[id] = true;
+    }
+    alive_count -= ids.size();
+    bundle.components.push_back(std::move(ids));
+  }
+
+  bundle.bundle_edge_count = m - alive_count;
+  bundle.off_bundle_edge_count = alive_count;
+  return bundle;
+}
+
+}  // namespace detail
 
 }  // namespace spar::spanner

@@ -2,13 +2,57 @@
 
 #include <cmath>
 
+#include "sparsify/sample_core.hpp"
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 
 namespace spar::sparsify {
 
 using graph::EdgeId;
 using graph::Graph;
+
+namespace detail {
+
+Graph assemble_sparsifier(const Graph& g, const std::vector<bool>& in_bundle,
+                          double keep_probability, std::uint64_t coin_seed_value,
+                          std::size_t* sampled_edges) {
+  const auto edges = g.edges();
+  const double inv_p = 1.0 / keep_probability;
+
+  // One independent coin per off-bundle edge; pure function of
+  // (seed, edge id), so the decision pass runs edge-parallel and only the
+  // append is serial.
+  enum : std::uint8_t { kDrop = 0, kBundle = 1, kSampled = 2 };
+  std::vector<std::uint8_t> verdict(edges.size(), kDrop);
+  support::par::parallel_for(
+      0, static_cast<std::int64_t>(edges.size()),
+      [&](std::int64_t id) {
+        if (in_bundle[static_cast<std::size_t>(id)]) {
+          verdict[static_cast<std::size_t>(id)] = kBundle;
+        } else if (keeps_edge(coin_seed_value, static_cast<EdgeId>(id),
+                              keep_probability)) {
+          verdict[static_cast<std::size_t>(id)] = kSampled;
+        }
+      },
+      {.enable = edges.size() > (1u << 12)});
+
+  Graph sparsifier(g.num_vertices());
+  sparsifier.reserve(edges.size() / 2);
+  std::size_t sampled = 0;
+  for (EdgeId id = 0; id < edges.size(); ++id) {
+    if (verdict[id] == kBundle) {
+      sparsifier.add_edge(edges[id].u, edges[id].v, edges[id].w);
+    } else if (verdict[id] == kSampled) {
+      sparsifier.add_edge(edges[id].u, edges[id].v, edges[id].w * inv_p);
+      ++sampled;
+    }
+  }
+  *sampled_edges = sampled;
+  return sparsifier;
+}
+
+}  // namespace detail
 
 std::size_t theory_bundle_width(std::size_t n, double epsilon) {
   SPAR_CHECK(epsilon > 0.0, "theory_bundle_width: epsilon must be positive");
@@ -28,7 +72,7 @@ SampleResult parallel_sample(const Graph& g, const SampleOptions& options) {
 
   spanner::BundleOptions bopt;
   bopt.t = result.t_used;
-  bopt.seed = support::mix64(options.seed, 0x6b756e646cULL);  // "bundl"
+  bopt.seed = detail::bundle_seed(options.seed);
   bopt.work = options.work;
   const spanner::Bundle bundle = options.bundle_kind == BundleKind::kSpanner
                                      ? spanner::t_bundle(g, bopt)
@@ -36,24 +80,11 @@ SampleResult parallel_sample(const Graph& g, const SampleOptions& options) {
   result.bundle_edges = bundle.bundle_edge_count;
   result.off_bundle_edges = bundle.off_bundle_edge_count;
 
-  // G~ := H, then one independent coin per off-bundle edge. The coin is a
-  // pure function of (seed, edge id): thread-count independent.
-  Graph sparsifier(g.num_vertices());
-  sparsifier.reserve(bundle.bundle_edge_count + bundle.off_bundle_edge_count / 2);
-  const auto edges = g.edges();
-  const double inv_p = 1.0 / options.keep_probability;
-  const std::uint64_t coin_seed = support::mix64(options.seed, 0x636f696eULL);  // "coin"
   support::WorkScope work(options.work);
-  work.add(edges.size());
-  for (EdgeId id = 0; id < edges.size(); ++id) {
-    if (bundle.in_bundle[id]) {
-      sparsifier.add_edge(edges[id].u, edges[id].v, edges[id].w);
-    } else if (support::stream_uniform(coin_seed, id) < options.keep_probability) {
-      sparsifier.add_edge(edges[id].u, edges[id].v, edges[id].w * inv_p);
-      ++result.sampled_edges;
-    }
-  }
-  result.sparsifier = std::move(sparsifier);
+  work.add(g.num_edges());
+  result.sparsifier = detail::assemble_sparsifier(
+      g, bundle.in_bundle, options.keep_probability,
+      detail::coin_seed(options.seed), &result.sampled_edges);
   return result;
 }
 

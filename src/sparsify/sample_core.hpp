@@ -1,0 +1,48 @@
+// Internal pieces of PARALLELSAMPLE shared by the shared-memory path
+// (sample.cpp) and the distributed simulator (dist/dist_spanner.cpp).
+//
+// Both must derive the SAME per-stage seeds and make the SAME per-edge coin
+// decisions so the distributed protocol reproduces the shared-memory
+// sparsifier bit for bit (pinned by
+// tests/integration/test_parallel_determinism.cpp). Keeping the derivation
+// and the coin/append pass here makes that contract un-breakable by a
+// one-sided edit.
+//
+// Not installed API: everything here lives in spar::sparsify::detail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace spar::sparsify::detail {
+
+/// Seed of the bundle-peeling stage under a PARALLELSAMPLE master seed.
+inline std::uint64_t bundle_seed(std::uint64_t seed) {
+  return support::mix64(seed, 0x6b756e646cULL);  // "bundl"
+}
+
+/// Seed of the off-bundle coin flips under a PARALLELSAMPLE master seed.
+inline std::uint64_t coin_seed(std::uint64_t seed) {
+  return support::mix64(seed, 0x636f696eULL);  // "coin"
+}
+
+/// The per-edge coin: a pure function of (coin seed, edge id), so any thread
+/// layout -- or network node -- makes the same decision.
+inline bool keeps_edge(std::uint64_t coin_seed_value, graph::EdgeId id,
+                       double keep_probability) {
+  return support::stream_uniform(coin_seed_value, id) < keep_probability;
+}
+
+/// G~ := bundle + surviving off-bundle edges reweighted by 1/p (Algorithm 1,
+/// steps 2-3). The decision pass runs edge-parallel; the append is serial.
+/// Writes the number of surviving off-bundle edges to *sampled_edges.
+graph::Graph assemble_sparsifier(const graph::Graph& g,
+                                 const std::vector<bool>& in_bundle,
+                                 double keep_probability,
+                                 std::uint64_t coin_seed_value,
+                                 std::size_t* sampled_edges);
+
+}  // namespace spar::sparsify::detail

@@ -1,0 +1,14 @@
+#include "support/parallel.hpp"
+
+#include <string>
+
+namespace spar::support::par {
+
+std::string backend_description() {
+  std::string out = openmp_enabled() ? "openmp" : "serial";
+  out += ", max_threads=" + std::to_string(max_threads());
+  out += ", hardware_threads=" + std::to_string(hardware_threads());
+  return out;
+}
+
+}  // namespace spar::support::par

@@ -1,0 +1,233 @@
+// Shared-memory parallel execution substrate for libspar.
+//
+// Every parallel loop in the library goes through this header instead of raw
+// OpenMP pragmas, for three reasons:
+//  * one place controls the backend: OpenMP when compiled with
+//    SPAR_HAS_OPENMP (the CMake option SPAR_ENABLE_OPENMP), a serial
+//    fallback otherwise -- no other file includes <omp.h>;
+//  * determinism: parallel_reduce splits the range into chunks whose
+//    boundaries depend only on (range, grain) -- never on the thread count --
+//    and combines partials in chunk order, so floating-point results are
+//    bit-identical for 1 and N threads, and identical to the serial build;
+//  * per-chunk RNG streams: chunk_rng(seed, chunk) gives randomized parallel
+//    algorithms an independent deterministic generator per chunk, the
+//    counter-based scheme the paper's CRCW PRAM algorithms assume.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+#if defined(SPAR_HAS_OPENMP)
+#include <omp.h>
+#endif
+
+namespace spar::support::par {
+
+/// True when the library was compiled against OpenMP.
+constexpr bool openmp_enabled() noexcept {
+#if defined(SPAR_HAS_OPENMP)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Current thread budget for parallel regions (1 in the serial build).
+inline int max_threads() noexcept {
+#if defined(SPAR_HAS_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Number of hardware execution units OpenMP sees (1 in the serial build).
+inline int hardware_threads() noexcept {
+#if defined(SPAR_HAS_OPENMP)
+  return omp_get_num_procs();
+#else
+  return 1;
+#endif
+}
+
+/// Worker id inside a parallel region; 0 outside any region and in the
+/// serial build. Always < max_threads() at region entry.
+inline int thread_id() noexcept {
+#if defined(SPAR_HAS_OPENMP)
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Set the thread budget (no-op in the serial build).
+inline void set_num_threads(int threads) noexcept {
+#if defined(SPAR_HAS_OPENMP)
+  omp_set_num_threads(std::max(threads, 1));
+#else
+  (void)threads;
+#endif
+}
+
+/// RAII thread-count override for tests and benches that sweep thread counts.
+class ThreadLimit {
+ public:
+  explicit ThreadLimit(int threads) : saved_(max_threads()) {
+    set_num_threads(threads);
+  }
+  ~ThreadLimit() { set_num_threads(saved_); }
+  ThreadLimit(const ThreadLimit&) = delete;
+  ThreadLimit& operator=(const ThreadLimit&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// Tuning knobs for a parallel loop. `enable == false` forces the serial
+/// path (the substrate equivalent of OpenMP's `if` clause); `grain` fixes the
+/// chunk size for chunked loops and reductions (0 = default_grain).
+struct ParOpts {
+  std::int64_t grain = 0;
+  bool enable = true;
+};
+
+/// Chunk size used when the caller does not fix one. A pure function of the
+/// range length only -- NEVER of the thread count -- so chunk boundaries (and
+/// therefore reduction order) are machine- and thread-independent.
+constexpr std::int64_t default_grain(std::int64_t n) noexcept {
+  constexpr std::int64_t kMinGrain = 1 << 10;
+  constexpr std::int64_t kMaxChunks = 1 << 12;
+  const std::int64_t for_chunks = (n + kMaxChunks - 1) / kMaxChunks;
+  return std::max(kMinGrain, for_chunks);
+}
+
+/// Independent deterministic RNG for logical chunk `chunk` under `seed`;
+/// the per-thread stream utility for randomized parallel loops.
+inline Rng chunk_rng(std::uint64_t seed, std::uint64_t chunk) {
+  return stream_rng(mix64(seed, 0x6368756e6bULL /* "chunk" */), chunk);
+}
+
+/// Element-parallel loop: f(i) for i in [begin, end). Iterations must be
+/// independent. Order of execution is unspecified in parallel builds.
+template <typename F>
+void parallel_for(std::int64_t begin, std::int64_t end, F&& f,
+                  ParOpts opts = {}) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+#if defined(SPAR_HAS_OPENMP)
+  if (opts.enable && n > 1 && max_threads() > 1) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = begin; i < end; ++i) f(i);
+    return;
+  }
+#endif
+  (void)opts;
+  for (std::int64_t i = begin; i < end; ++i) f(i);
+}
+
+/// Chunk-parallel loop with dynamic load balancing:
+/// f(chunk_begin, chunk_end, chunk_index, worker_id) for each chunk.
+/// worker_id is stable for the duration of one call and < max_threads(),
+/// so callers can keep per-worker scratch indexed by it. Chunk boundaries
+/// depend only on (range, grain): thread-count independent.
+template <typename F>
+void parallel_chunks(std::int64_t begin, std::int64_t end, F&& f,
+                     ParOpts opts = {}) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const std::int64_t grain = opts.grain > 0 ? opts.grain : default_grain(n);
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  const auto run_chunk = [&](std::int64_t c, int worker) {
+    const std::int64_t cb = begin + c * grain;
+    const std::int64_t ce = std::min(end, cb + grain);
+    f(cb, ce, c, worker);
+  };
+#if defined(SPAR_HAS_OPENMP)
+  if (opts.enable && chunks > 1 && max_threads() > 1) {
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::int64_t c = 0; c < chunks; ++c) run_chunk(c, omp_get_thread_num());
+    return;
+  }
+#endif
+  for (std::int64_t c = 0; c < chunks; ++c) run_chunk(c, 0);
+}
+
+/// Deterministic parallel reduction.
+///
+/// `map(chunk_begin, chunk_end) -> T` folds one chunk serially;
+/// `combine(T, T) -> T` merges partials and is applied in ascending chunk
+/// order. Because the chunking is thread-count independent and the combine
+/// order is fixed, the result is bit-identical across thread counts and
+/// identical to the serial build -- unlike an OpenMP `reduction` clause.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::int64_t begin, std::int64_t end, T identity, Map&& map,
+                  Combine&& combine, ParOpts opts = {}) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return identity;
+  const std::int64_t grain = opts.grain > 0 ? opts.grain : default_grain(n);
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  if (chunks == 1) return combine(identity, map(begin, end));
+
+  std::vector<T> partial(static_cast<std::size_t>(chunks), identity);
+  parallel_chunks(
+      begin, end,
+      [&](std::int64_t cb, std::int64_t ce, std::int64_t c, int /*worker*/) {
+        partial[static_cast<std::size_t>(c)] = map(cb, ce);
+      },
+      {.grain = grain, .enable = opts.enable});
+  T acc = identity;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+/// Human-readable backend summary ("openmp, max_threads=8, ...") for benches.
+std::string backend_description();
+
+/// Lazily-constructed per-worker scratch for parallel_chunks bodies.
+///
+/// Sized from max_threads() at construction (construct it AFTER any
+/// set_num_threads call, before the parallel region); each slot is created on
+/// the first chunk its worker runs. Safe because a worker id is owned by
+/// exactly one thread for the duration of a parallel_chunks call. Reusing one
+/// WorkerLocal across several parallel_chunks calls is fine -- slots carry
+/// over, so make the scratch type's state self-invalidating (e.g. epoch
+/// stamps) if it must not leak between calls.
+template <typename T>
+class WorkerLocal {
+ public:
+  WorkerLocal() : slots_(static_cast<std::size_t>(max_threads())) {}
+
+  /// Scratch for `worker`, constructing it with `make()` on first use.
+  template <typename Make>
+  T& local(int worker, Make&& make) {
+    auto& slot = slots_[static_cast<std::size_t>(worker)];
+    if (!slot) slot.reset(new T(make()));
+    return *slot;
+  }
+
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<T>> slots_;
+};
+
+/// Convenience: deterministic parallel sum of f(i) over [begin, end).
+template <typename F>
+double parallel_sum(std::int64_t begin, std::int64_t end, F&& f,
+                    ParOpts opts = {}) {
+  return parallel_reduce(
+      begin, end, 0.0,
+      [&](std::int64_t cb, std::int64_t ce) {
+        double s = 0.0;
+        for (std::int64_t i = cb; i < ce; ++i) s += f(i);
+        return s;
+      },
+      [](double a, double b) { return a + b; }, opts);
+}
+
+}  // namespace spar::support::par

@@ -1,18 +1,19 @@
 #include "support/work_counter.hpp"
 
-#include <omp.h>
+#include "support/parallel.hpp"
 
 namespace spar::support {
 
-WorkCounter::WorkCounter() : slots_(static_cast<std::size_t>(omp_get_max_threads()) + 1) {}
+WorkCounter::WorkCounter()
+    : slots_(static_cast<std::size_t>(par::max_threads()) + 1) {}
 
 void WorkCounter::add(std::uint64_t amount) noexcept {
-  const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+  const auto tid = static_cast<std::size_t>(par::thread_id());
   // A thread id beyond the initial max (nested regions with dynamic teams)
   // falls back to the shared last slot; rare enough that the race-free
   // requirement is kept by making that slot atomic-free but only used when
-  // OpenMP reports a stable id. omp_get_thread_num() is always < num_threads
-  // of the innermost region, which is <= omp_get_max_threads() at construction
+  // the backend reports a stable id. par::thread_id() is always < num_threads
+  // of the innermost region, which is <= par::max_threads() at construction
   // unless the caller raised the limit afterwards; clamp for safety.
   const std::size_t slot = tid < slots_.size() - 1 ? tid : slots_.size() - 1;
   slots_[slot].value += amount;

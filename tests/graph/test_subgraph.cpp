@@ -33,7 +33,9 @@ TEST(InducedSubgraph, MapsAreInverse) {
     EXPECT_TRUE(keep[old]);
   }
   for (Vertex old = 0; old < 30; ++old) {
-    if (!keep[old]) EXPECT_EQ(sub.old_to_new[old], kInvalidVertex);
+    if (!keep[old]) {
+      EXPECT_EQ(sub.old_to_new[old], kInvalidVertex);
+    }
   }
 }
 

@@ -4,43 +4,34 @@
 // the CRCW-PRAM-style implementation debuggable and the benches reproducible.
 #include <gtest/gtest.h>
 
-#include <omp.h>
-
 #include "dist/dist_spanner.hpp"
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
 #include "spanner/baswana_sen.hpp"
 #include "spanner/bundle.hpp"
 #include "sparsify/sparsify.hpp"
+#include "support/parallel.hpp"
 
 namespace spar {
 namespace {
 
 using graph::Graph;
 
-class ThreadSweep {
- public:
-  ~ThreadSweep() { omp_set_num_threads(saved_); }
-
-  template <typename F>
-  auto run_with(int threads, F&& f) {
-    omp_set_num_threads(threads);
-    return f();
-  }
-
- private:
-  int saved_ = omp_get_max_threads();
-};
+// Runs f under a temporary thread budget (par::ThreadLimit restores it).
+template <typename F>
+auto run_with(int threads, F&& f) {
+  support::par::ThreadLimit limit(threads);
+  return f();
+}
 
 TEST(Determinism, SpannerIdenticalAcrossThreadCounts) {
   const Graph g = graph::connected_erdos_renyi(300, 0.08, 3);
   const graph::CSRGraph csr(g);
-  ThreadSweep sweep;
-  const auto base = sweep.run_with(1, [&] {
+  const auto base = run_with(1, [&] {
     return spanner::baswana_sen_spanner(csr, nullptr, {.k = 0, .seed = 5});
   });
   for (int threads : {2, 4}) {
-    const auto other = sweep.run_with(threads, [&] {
+    const auto other = run_with(threads, [&] {
       return spanner::baswana_sen_spanner(csr, nullptr, {.k = 0, .seed = 5});
     });
     EXPECT_EQ(base, other) << threads << " threads";
@@ -49,11 +40,10 @@ TEST(Determinism, SpannerIdenticalAcrossThreadCounts) {
 
 TEST(Determinism, BundleIdenticalAcrossThreadCounts) {
   const Graph g = graph::complete_graph(64);
-  ThreadSweep sweep;
   const auto base =
-      sweep.run_with(1, [&] { return spanner::t_bundle(g, {.t = 3, .seed = 7}); });
+      run_with(1, [&] { return spanner::t_bundle(g, {.t = 3, .seed = 7}); });
   const auto other =
-      sweep.run_with(4, [&] { return spanner::t_bundle(g, {.t = 3, .seed = 7}); });
+      run_with(4, [&] { return spanner::t_bundle(g, {.t = 3, .seed = 7}); });
   EXPECT_EQ(base.in_bundle, other.in_bundle);
 }
 
@@ -63,19 +53,17 @@ TEST(Determinism, SparsifyIdenticalAcrossThreadCounts) {
   opt.rho = 8.0;
   opt.t = 1;
   opt.seed = 9;
-  ThreadSweep sweep;
   const auto base =
-      sweep.run_with(1, [&] { return sparsify::parallel_sparsify(g, opt); });
+      run_with(1, [&] { return sparsify::parallel_sparsify(g, opt); });
   const auto other =
-      sweep.run_with(4, [&] { return sparsify::parallel_sparsify(g, opt); });
+      run_with(4, [&] { return sparsify::parallel_sparsify(g, opt); });
   EXPECT_TRUE(base.sparsifier.same_edges(other.sparsifier));
 }
 
 TEST(Determinism, CsrConstructionIdenticalAcrossThreadCounts) {
   const Graph g = graph::connected_erdos_renyi(500, 0.05, 11);
-  ThreadSweep sweep;
   const auto fingerprint = [&](int threads) {
-    return sweep.run_with(threads, [&] {
+    return run_with(threads, [&] {
       const graph::CSRGraph csr(g);
       // Fingerprint the full arc layout.
       std::vector<std::uint64_t> fp;
@@ -93,11 +81,10 @@ TEST(Determinism, CsrConstructionIdenticalAcrossThreadCounts) {
 TEST(Determinism, DistributedSpannerIndependentOfSharedMemoryThreads) {
   const Graph g = graph::connected_erdos_renyi(120, 0.1, 13);
   const graph::CSRGraph csr(g);
-  ThreadSweep sweep;
-  const auto base = sweep.run_with(1, [&] {
+  const auto base = run_with(1, [&] {
     return dist::distributed_spanner(csr, nullptr, {.k = 0, .seed = 15});
   });
-  const auto other = sweep.run_with(4, [&] {
+  const auto other = run_with(4, [&] {
     return dist::distributed_spanner(csr, nullptr, {.k = 0, .seed = 15});
   });
   EXPECT_EQ(base.spanner_edges, other.spanner_edges);

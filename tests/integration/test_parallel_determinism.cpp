@@ -1,0 +1,118 @@
+// Seed-determinism of the full PARALLELSPARSIFY pipeline across thread
+// counts: the substrate's counter-based coins and deterministic reductions
+// must make `parallel_sparsify` emit bit-identical edge sets for 1 and N
+// threads, and the distributed simulator must reproduce the shared-memory
+// output exactly (same derived seeds, same decision logic).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dist/dist_spanner.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "linalg/vector_ops.hpp"
+#include "spanner/baswana_sen.hpp"
+#include "sparsify/sample.hpp"
+#include "sparsify/sparsify.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace spar {
+namespace {
+
+using graph::Graph;
+
+sparsify::SparsifyOptions sparsify_options(std::uint64_t seed) {
+  sparsify::SparsifyOptions opt;
+  opt.rho = 8.0;
+  opt.t = 2;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(ParallelDeterminism, SparsifyEdgeSetsIdenticalAcrossThreadCounts) {
+  const Graph g = graph::randomize_weights(graph::complete_graph(90), 0.5, 21);
+  sparsify::SparsifyResult base;
+  {
+    support::par::ThreadLimit one(1);
+    base = sparsify::parallel_sparsify(g, sparsify_options(33));
+  }
+  for (int threads : {2, 4, 8}) {
+    support::par::ThreadLimit limit(threads);
+    const auto other = sparsify::parallel_sparsify(g, sparsify_options(33));
+    EXPECT_TRUE(base.sparsifier.same_edges(other.sparsifier))
+        << threads << " threads";
+    ASSERT_EQ(base.rounds.size(), other.rounds.size());
+    for (std::size_t r = 0; r < base.rounds.size(); ++r) {
+      EXPECT_EQ(base.rounds[r].edges_after, other.rounds[r].edges_after);
+      EXPECT_EQ(base.rounds[r].sampled_edges, other.rounds[r].sampled_edges);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, SampleIdenticalAcrossThreadCountsOnSparseGraph) {
+  const Graph g = graph::connected_erdos_renyi(400, 0.06, 5);
+  sparsify::SampleOptions opt;
+  opt.t = 2;
+  opt.seed = 11;
+  sparsify::SampleResult base;
+  {
+    support::par::ThreadLimit one(1);
+    base = sparsify::parallel_sample(g, opt);
+  }
+  {
+    support::par::ThreadLimit four(4);
+    const auto other = sparsify::parallel_sample(g, opt);
+    EXPECT_TRUE(base.sparsifier.same_edges(other.sparsifier));
+    EXPECT_EQ(base.bundle_edges, other.bundle_edges);
+    EXPECT_EQ(base.sampled_edges, other.sampled_edges);
+  }
+}
+
+TEST(ParallelDeterminism, DistributedSimulatorReproducesSharedMemorySpanner) {
+  const Graph g = graph::connected_erdos_renyi(250, 0.08, 17);
+  const graph::CSRGraph csr(g);
+  const auto shared =
+      spanner::baswana_sen_spanner(csr, nullptr, {.k = 0, .seed = 23});
+  const auto distributed = dist::distributed_spanner(csr, nullptr, {.k = 0, .seed = 23});
+  EXPECT_EQ(shared, distributed.spanner_edges);
+}
+
+TEST(ParallelDeterminism, DistributedSampleReproducesSharedMemorySample) {
+  const Graph g = graph::randomize_weights(graph::complete_graph(60), 0.5, 29);
+  sparsify::SampleOptions shared_opt;
+  shared_opt.t = 3;
+  shared_opt.seed = 31;
+  const auto shared = sparsify::parallel_sample(g, shared_opt);
+  dist::DistSampleOptions dist_opt;
+  dist_opt.t = 3;
+  dist_opt.seed = 31;
+  const auto distributed = dist::distributed_parallel_sample(g, dist_opt);
+  EXPECT_TRUE(shared.sparsifier.same_edges(distributed.sparsifier));
+  EXPECT_EQ(shared.bundle_edges, distributed.bundle_edges);
+  EXPECT_EQ(shared.sampled_edges, distributed.sampled_edges);
+}
+
+TEST(ParallelDeterminism, DotProductBitIdenticalAcrossThreadCounts) {
+  // The linalg reductions feed CG/Chebyshev; their chunked deterministic
+  // summation keeps whole solver trajectories reproducible across machines.
+  const std::size_t n = 1 << 17;  // above the parallel threshold
+  std::vector<double> a(n), b(n);
+  support::Rng rng(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.normal();
+    b[i] = rng.normal();
+  }
+  double base;
+  {
+    support::par::ThreadLimit one(1);
+    base = linalg::dot(a, b);
+  }
+  for (int threads : {2, 4}) {
+    support::par::ThreadLimit limit(threads);
+    EXPECT_EQ(base, linalg::dot(a, b)) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace spar

@@ -15,7 +15,9 @@ using graph::Graph;
 
 TEST(IncrementalSparsify, TreeAlwaysKept) {
   const Graph g = graph::randomize_weights(graph::complete_graph(40), 1.0, 3);
-  const auto result = incremental_sparsify(g, {.seed = 5});
+  IncrementalOptions opt;
+  opt.seed = 5;
+  const auto result = incremental_sparsify(g, opt);
   EXPECT_EQ(result.tree_edges, g.num_vertices() - 1u);
   EXPECT_GE(result.sparsifier.num_edges(), result.tree_edges);
   EXPECT_TRUE(graph::is_connected(graph::CSRGraph(result.sparsifier)));
@@ -23,7 +25,9 @@ TEST(IncrementalSparsify, TreeAlwaysKept) {
 
 TEST(IncrementalSparsify, CountsConsistent) {
   const Graph g = graph::complete_graph(30);
-  const auto result = incremental_sparsify(g, {.seed = 7});
+  IncrementalOptions opt;
+  opt.seed = 7;
+  const auto result = incremental_sparsify(g, opt);
   EXPECT_EQ(result.tree_edges + result.off_tree_edges, g.num_edges());
   EXPECT_EQ(result.sparsifier.num_edges(),
             result.tree_edges + result.distinct_sampled);
@@ -42,7 +46,9 @@ TEST(IncrementalSparsify, SpectralQuality) {
 
 TEST(IncrementalSparsify, TreeInputReturnsTreeExactly) {
   const Graph g = graph::binary_tree(31);
-  const auto result = incremental_sparsify(g, {.seed = 3});
+  IncrementalOptions opt;
+  opt.seed = 3;
+  const auto result = incremental_sparsify(g, opt);
   EXPECT_EQ(result.off_tree_edges, 0u);
   EXPECT_DOUBLE_EQ(result.total_stretch, 0.0);
   EXPECT_TRUE(result.sparsifier.same_edges(g));
@@ -95,8 +101,10 @@ TEST(IncrementalSparsify, SampleOverrideRespected) {
 
 TEST(IncrementalSparsify, Deterministic) {
   const Graph g = graph::complete_graph(30);
-  const auto a = incremental_sparsify(g, {.seed = 31});
-  const auto b = incremental_sparsify(g, {.seed = 31});
+  IncrementalOptions opt;
+  opt.seed = 31;
+  const auto a = incremental_sparsify(g, opt);
+  const auto b = incremental_sparsify(g, opt);
   EXPECT_TRUE(a.sparsifier.same_edges(b.sparsifier));
 }
 
@@ -104,7 +112,9 @@ TEST(IncrementalSparsify, DumbbellBridgeKeptWithHighProbability) {
   // The bridge is a tree edge of any spanning tree: always kept.
   const Graph g = graph::dumbbell(20, 0.01);
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    const auto result = incremental_sparsify(g, {.seed = seed});
+    IncrementalOptions opt;
+    opt.seed = seed;
+    const auto result = incremental_sparsify(g, opt);
     EXPECT_TRUE(graph::is_connected(graph::CSRGraph(result.sparsifier)))
         << "seed " << seed;
   }

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include <omp.h>
+#include "support/parallel.hpp"
 
 namespace spar::support {
 namespace {
@@ -29,8 +29,7 @@ TEST(WorkCounter, ResetClears) {
 TEST(WorkCounter, ParallelAccumulationIsExact) {
   WorkCounter wc;
   const int iterations = 100000;
-#pragma omp parallel for
-  for (int i = 0; i < iterations; ++i) wc.add(1);
+  par::parallel_for(0, iterations, [&](std::int64_t) { wc.add(1); });
   EXPECT_EQ(wc.total(), static_cast<std::uint64_t>(iterations));
 }
 
