@@ -3,7 +3,10 @@
 #
 #   scripts/check.sh [BUILD_TYPE] [OPENMP]
 #
-#   BUILD_TYPE  Release (default) | Debug | RelWithDebInfo
+#   BUILD_TYPE  Release (default) | Debug | RelWithDebInfo | Asan
+#               Asan = RelWithDebInfo with -fsanitize=address,undefined
+#               (the CI sanitizer job; arena/index refactors are exactly
+#               where ASan+UBSan pay off)
 #   OPENMP      ON (default) | OFF
 #
 # Also greps for test sources that exist on disk but are not registered in
@@ -14,7 +17,14 @@ cd "$(dirname "$0")/.."
 
 build_type="${1:-Release}"
 openmp="${2:-ON}"
-build_dir="build-check-${build_type,,}-omp${openmp,,}"
+sanitize=""
+case "$build_type" in
+  Asan|asan|Sanitize|sanitize)
+    build_type="RelWithDebInfo"
+    sanitize="address,undefined"
+    ;;
+esac
+build_dir="build-check-${build_type,,}-omp${openmp,,}${sanitize:+-asan}"
 
 # Every tests/**/test_*.cpp must appear in its directory's CMakeLists.txt.
 missing=0
@@ -31,6 +41,7 @@ done < <(find tests -name 'test_*.cpp')
 cmake -B "$build_dir" -S . \
   -DCMAKE_BUILD_TYPE="$build_type" \
   -DSPAR_ENABLE_OPENMP="$openmp" \
+  -DSPAR_SANITIZE="$sanitize" \
   -DSPAR_WERROR=ON
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"

@@ -94,29 +94,34 @@ DistSpannerResult distributed_spanner(const CSRGraph& csr,
   return result;
 }
 
-DistSampleResult distributed_parallel_sample(const Graph& g,
-                                             const DistSampleOptions& options) {
+namespace {
+
+// One distributed PARALLELSAMPLE round executed in place on the shared round
+// pipeline: the t-bundle is peeled with t runs of the distributed spanner
+// protocol over ctx's reusable CSR scratch, then the verdict/compaction core
+// (sparsify::detail::apply_sample_verdicts -- the exact code the
+// shared-memory round runs) shrinks the arena. peel_bundle and the seed
+// derivations are also the shared-memory code, so the round reproduces the
+// shared-memory sparsifier bit for bit while `metrics` accounts for what the
+// network did.
+sparsify::SampleRoundStats dist_sample_round(sparsify::RoundContext& ctx,
+                                             const DistSampleOptions& options,
+                                             DistMetrics& metrics) {
   SPAR_CHECK(options.epsilon > 0.0,
              "distributed_parallel_sample: epsilon must be positive");
   SPAR_CHECK(options.keep_probability > 0.0 && options.keep_probability <= 1.0,
              "distributed_parallel_sample: keep_probability must be in (0, 1]");
 
-  DistSampleResult result;
-  result.metrics.max_message_words = kWordsPerMessage;
-  result.t_used =
-      options.t != 0
-          ? options.t
-          : sparsify::theory_bundle_width(g.num_vertices(), options.epsilon);
+  sparsify::SampleRoundStats stats;
+  stats.edges_before = ctx.num_edges();
+  stats.t_used = options.t != 0
+                     ? options.t
+                     : sparsify::theory_bundle_width(ctx.num_vertices(),
+                                                     options.epsilon);
 
-  const CSRGraph csr(g);
-
-  // Peel the t-bundle with t runs of the distributed spanner protocol.
-  // spanner::detail::peel_bundle and the sparsify::detail seed derivations
-  // are the same code the shared-memory path runs, so the bundle -- and
-  // below, the coin flips -- reproduce the shared-memory sparsifier bit for
-  // bit, while the metrics account for what the network did.
+  const CSRGraph& csr = ctx.rebuild_csr();
   const spanner::Bundle bundle = spanner::detail::peel_bundle(
-      g.num_edges(), result.t_used,
+      ctx.num_edges(), stats.t_used,
       sparsify::detail::bundle_seed(options.seed),
       [&](std::uint64_t component_seed, const std::vector<bool>& alive) {
         DistSpannerOptions sopt;
@@ -124,23 +129,41 @@ DistSampleResult distributed_parallel_sample(const Graph& g,
         sopt.seed = component_seed;
         sopt.work = options.work;
         DistSpannerResult component = distributed_spanner(csr, &alive, sopt);
-        result.metrics.absorb(component.metrics);
+        metrics.absorb(component.metrics);
         return std::move(component.spanner_edges);
       });
-  result.bundle_edges = bundle.bundle_edge_count;
-  result.off_bundle_edges = bundle.off_bundle_edge_count;
+  stats.bundle_edges = bundle.bundle_edge_count;
+  stats.off_bundle_edges = bundle.off_bundle_edge_count;
 
   // Off-bundle coins are local: each edge owner evaluates the same pure
   // function of (seed, edge id) the shared-memory path uses, then announces
   // only the kept edges (one message each) in a single round.
   support::WorkScope work(options.work);
-  work.add(g.num_edges());
-  result.sparsifier = sparsify::detail::assemble_sparsifier(
-      g, bundle.in_bundle, options.keep_probability,
-      sparsify::detail::coin_seed(options.seed), &result.sampled_edges);
-  result.metrics.rounds += 1;
-  result.metrics.messages += result.sampled_edges;
-  result.metrics.words += result.sampled_edges * kWordsPerMessage;
+  work.add(stats.edges_before);
+  stats.sampled_edges = sparsify::detail::apply_sample_verdicts(
+      ctx, bundle.in_bundle, options.keep_probability,
+      sparsify::detail::coin_seed(options.seed));
+  stats.edges_after = ctx.num_edges();
+  metrics.rounds += 1;
+  metrics.messages += stats.sampled_edges;
+  metrics.words += stats.sampled_edges * kWordsPerMessage;
+  return stats;
+}
+
+}  // namespace
+
+DistSampleResult distributed_parallel_sample(const Graph& g,
+                                             const DistSampleOptions& options) {
+  DistSampleResult result;
+  result.metrics.max_message_words = kWordsPerMessage;
+  sparsify::RoundContext ctx(g);
+  const sparsify::SampleRoundStats stats =
+      dist_sample_round(ctx, options, result.metrics);
+  result.sparsifier = ctx.arena().to_graph();
+  result.bundle_edges = stats.bundle_edges;
+  result.off_bundle_edges = stats.off_bundle_edges;
+  result.sampled_edges = stats.sampled_edges;
+  result.t_used = stats.t_used;
   return result;
 }
 
@@ -161,7 +184,10 @@ DistSparsifyResult distributed_parallel_sparsify(const Graph& g,
   const double per_round_epsilon =
       options.epsilon / static_cast<double>(rounds_planned);
 
-  Graph current = g;
+  // Same zero-copy round loop as sparsify::parallel_sparsify: one
+  // RoundContext threads the arena, CSR scratch and verdict buffer through
+  // every protocol round; a Graph exists only at the boundary.
+  sparsify::RoundContext ctx(g);
   for (std::size_t round = 0; round < rounds_planned; ++round) {
     DistSampleOptions sopt;
     sopt.epsilon = per_round_epsilon;
@@ -170,22 +196,21 @@ DistSparsifyResult distributed_parallel_sparsify(const Graph& g,
     sopt.seed = support::mix64(options.seed, round + 1);
     sopt.work = options.work;
 
-    DistSampleResult sample = distributed_parallel_sample(current, sopt);
-
     DistRound stats;
-    stats.edges_before = current.num_edges();
-    stats.edges_after = sample.sparsifier.num_edges();
-    stats.metrics = sample.metrics;
+    stats.metrics.max_message_words = kWordsPerMessage;
+    const sparsify::SampleRoundStats sample =
+        dist_sample_round(ctx, sopt, stats.metrics);
+    stats.edges_before = sample.edges_before;
+    stats.edges_after = sample.edges_after;
     result.rounds.push_back(stats);
-    result.metrics.absorb(sample.metrics);
+    result.metrics.absorb(stats.metrics);
 
     const bool saturated = sample.sampled_edges == 0 &&
-                           sample.bundle_edges == stats.edges_before;
-    current = std::move(sample.sparsifier);
+                           sample.bundle_edges == sample.edges_before;
     if (options.stop_when_saturated && saturated)
       break;  // bundle swallowed the graph; rest are identities
   }
-  result.sparsifier = std::move(current);
+  result.sparsifier = ctx.arena().to_graph();
   return result;
 }
 

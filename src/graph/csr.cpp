@@ -9,33 +9,53 @@ namespace spar::graph {
 
 namespace par = support::par;
 
-CSRGraph::CSRGraph(const Graph& g) {
-  const Vertex n = g.num_vertices();
-  const auto edges = g.edges();
+template <typename EdgeAt>
+void CSRGraph::rebuild_impl(Vertex n, std::size_t m, EdgeAt&& at) {
   offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  cursor_.assign(n, 0);
 
-  // Degree count. Edge lists are typically large; parallelize with atomics on
-  // the (cold) offsets array, then prefix-sum sequentially (n is small next to m).
-  std::vector<std::atomic<std::size_t>> deg(n);
-  for (auto& d : deg) d.store(0, std::memory_order_relaxed);
-  par::parallel_for(0, static_cast<std::int64_t>(edges.size()), [&](std::int64_t i) {
-    deg[edges[i].u].fetch_add(1, std::memory_order_relaxed);
-    deg[edges[i].v].fetch_add(1, std::memory_order_relaxed);
-  });
-  for (Vertex v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + deg[v].load();
+  // Degree count, prefix sum, scatter. The parallel path uses relaxed
+  // atomic_ref increments on the reusable cursor buffer; the serial path (one
+  // thread, or small m) skips the atomics entirely. Either way the final
+  // per-vertex sort below canonicalizes arc order, so the result is
+  // bit-identical across paths and thread counts.
+  const bool concurrent = par::openmp_enabled() && par::max_threads() > 1 && m > 1;
+  if (concurrent) {
+    par::parallel_for(0, static_cast<std::int64_t>(m), [&](std::int64_t i) {
+      const Edge e = at(static_cast<std::size_t>(i));
+      std::atomic_ref<std::size_t>(cursor_[e.u]).fetch_add(1, std::memory_order_relaxed);
+      std::atomic_ref<std::size_t>(cursor_[e.v]).fetch_add(1, std::memory_order_relaxed);
+    });
+  } else {
+    for (std::size_t i = 0; i < m; ++i) {
+      const Edge e = at(i);
+      ++cursor_[e.u];
+      ++cursor_[e.v];
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + cursor_[v];
 
   arcs_.resize(offsets_[n]);
-  std::vector<std::atomic<std::size_t>> cursor(n);
-  for (Vertex v = 0; v < n; ++v) cursor[v].store(offsets_[v], std::memory_order_relaxed);
-  par::parallel_for(0, static_cast<std::int64_t>(edges.size()), [&](std::int64_t i) {
-    const Edge& e = edges[i];
-    const auto id = static_cast<EdgeId>(i);
-    arcs_[cursor[e.u].fetch_add(1, std::memory_order_relaxed)] = {e.v, e.w, id};
-    arcs_[cursor[e.v].fetch_add(1, std::memory_order_relaxed)] = {e.u, e.w, id};
-  });
+  for (Vertex v = 0; v < n; ++v) cursor_[v] = offsets_[v];
+  if (concurrent) {
+    par::parallel_for(0, static_cast<std::int64_t>(m), [&](std::int64_t i) {
+      const Edge e = at(static_cast<std::size_t>(i));
+      const auto id = static_cast<EdgeId>(i);
+      arcs_[std::atomic_ref<std::size_t>(cursor_[e.u])
+                .fetch_add(1, std::memory_order_relaxed)] = {e.v, e.w, id};
+      arcs_[std::atomic_ref<std::size_t>(cursor_[e.v])
+                .fetch_add(1, std::memory_order_relaxed)] = {e.u, e.w, id};
+    });
+  } else {
+    for (std::size_t i = 0; i < m; ++i) {
+      const Edge e = at(i);
+      const auto id = static_cast<EdgeId>(i);
+      arcs_[cursor_[e.u]++] = {e.v, e.w, id};
+      arcs_[cursor_[e.v]++] = {e.u, e.w, id};
+    }
+  }
 
-  // Sort each adjacency list by target for deterministic iteration order
-  // (parallel insertion above is thread-order dependent).
+  // Canonical per-vertex arc order (to, id): thread- and path-independent.
   par::parallel_chunks(
       0, static_cast<std::int64_t>(n),
       [&](std::int64_t vb, std::int64_t ve, std::int64_t /*chunk*/, int /*worker*/) {
@@ -48,6 +68,18 @@ CSRGraph::CSRGraph(const Graph& g) {
         }
       },
       {.grain = 64});
+}
+
+void CSRGraph::rebuild(const Graph& g) {
+  const auto edges = g.edges();
+  rebuild_impl(g.num_vertices(), edges.size(),
+               [&](std::size_t i) { return edges[i]; });
+}
+
+void CSRGraph::rebuild(const EdgeView& view) {
+  rebuild_impl(view.num_vertices, view.size, [&](std::size_t i) {
+    return Edge{view.u[i], view.v[i], view.w[i]};
+  });
 }
 
 std::size_t CSRGraph::max_degree() const {

@@ -1,12 +1,19 @@
-// Compressed sparse row adjacency view of a Graph. Construction is
-// OpenMP-parallel (counting sort over endpoints). Each arc remembers the
+// Compressed sparse row adjacency view of an edge list. Construction is
+// parallel (counting sort over endpoints). Each arc remembers the
 // originating EdgeId so algorithms can mark edges (bundle membership, alive
 // masks) on the parent edge list.
+//
+// The sparsification round loop rebuilds the adjacency every round from a
+// shrinking edge set; rebuild() re-populates this object in place, reusing
+// the offsets/arcs/cursor buffers, so steady-state rounds allocate nothing.
+// Arcs of a vertex are sorted by (target, edge id), a canonical order that is
+// independent of thread count and of which overload built the structure.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "graph/edge_view.hpp"
 #include "graph/graph.hpp"
 
 namespace spar::graph {
@@ -20,7 +27,13 @@ struct Arc {
 class CSRGraph {
  public:
   CSRGraph() = default;
-  explicit CSRGraph(const Graph& g);
+  explicit CSRGraph(const Graph& g) { rebuild(g); }
+  explicit CSRGraph(const EdgeView& view) { rebuild(view); }
+
+  /// Re-populate from an edge list, reusing internal buffers. The result is
+  /// identical to constructing a fresh CSRGraph from the same edges.
+  void rebuild(const Graph& g);
+  void rebuild(const EdgeView& view);
 
   Vertex num_vertices() const { return static_cast<Vertex>(offsets_.size() - 1); }
   std::size_t num_arcs() const { return arcs_.size(); }  ///< = 2 * num_edges
@@ -34,8 +47,12 @@ class CSRGraph {
   std::size_t max_degree() const;
 
  private:
+  template <typename EdgeAt>
+  void rebuild_impl(Vertex n, std::size_t m, EdgeAt&& at);
+
   std::vector<std::size_t> offsets_;  // size n+1
   std::vector<Arc> arcs_;
+  std::vector<std::size_t> cursor_;  // size n scatter scratch, reused
 };
 
 }  // namespace spar::graph

@@ -1,0 +1,47 @@
+#include "graph/edge_view.hpp"
+
+#include <utility>
+
+#include "support/parallel.hpp"
+
+namespace spar::graph {
+
+namespace par = support::par;
+
+void EdgeArena::assign(const Graph& g) {
+  n_ = g.num_vertices();
+  size_ = g.num_edges();
+  u_.resize(size_);
+  v_.resize(size_);
+  w_.resize(size_);
+  const auto edges = g.edges();
+  par::parallel_for(0, static_cast<std::int64_t>(size_), [&](std::int64_t i) {
+    u_[static_cast<std::size_t>(i)] = edges[static_cast<std::size_t>(i)].u;
+    v_[static_cast<std::size_t>(i)] = edges[static_cast<std::size_t>(i)].v;
+    w_[static_cast<std::size_t>(i)] = edges[static_cast<std::size_t>(i)].w;
+  });
+}
+
+Graph EdgeArena::to_graph() const {
+  std::vector<Edge> edges(size_);
+  par::parallel_for(0, static_cast<std::int64_t>(size_), [&](std::int64_t i) {
+    const auto id = static_cast<std::size_t>(i);
+    edges[id] = {u_[id], v_[id], w_[id]};
+  });
+  return Graph(n_, std::move(edges));
+}
+
+std::size_t EdgeArena::compact_commit(std::size_t new_size) {
+  u_.swap(next_u_);
+  v_.swap(next_v_);
+  w_.swap(next_w_);
+  size_ = new_size;
+  return size_;
+}
+
+double EdgeArena::total_weight() const {
+  return par::parallel_sum(0, static_cast<std::int64_t>(size_),
+                           [&](std::int64_t i) { return w_[static_cast<std::size_t>(i)]; });
+}
+
+}  // namespace spar::graph

@@ -1,0 +1,126 @@
+// Structure-of-arrays edge storage for the sparsification round pipeline.
+//
+// The round loop of PARALLELSPARSIFY repeatedly shrinks one edge universe:
+// every round keeps the bundle edges, keeps a coin-flip subset of the rest at
+// weight w/p, and drops everything else. Materializing each intermediate as a
+// fresh `Graph` (an AoS edge list rebuilt through a serial add_edge loop) made
+// the round loop allocation- and copy-bound. EdgeArena stores the edges once
+// as parallel arrays u[] / v[] / w[] and mutates them in place:
+//
+//  * weights reweight in place (w *= 1/p) as edges survive a round,
+//  * surviving edges are compacted with a deterministic prefix-sum scatter
+//    (support::par::parallel_compact) into double-buffered slabs, preserving
+//    index order -- the edge id an algorithm sees is exactly the rank the old
+//    serial append loop would have assigned,
+//  * `Graph` objects exist only at API boundaries (EdgeArena(Graph&) in,
+//    to_graph() out); nothing inside a round constructs one.
+//
+// EdgeView is the non-owning index-slab view consumers read: raw SoA pointers
+// plus [begin, end) bounds into the arena's active slab. CSRGraph::rebuild
+// consumes it, as does anything that only iterates edges.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace spar::graph {
+
+/// Non-owning SoA view of a contiguous slab of edges. Edge i of the view has
+/// endpoints u[i], v[i] and weight w[i]; ids are slab-relative.
+struct EdgeView {
+  Vertex num_vertices = 0;
+  std::size_t size = 0;
+  const Vertex* u = nullptr;
+  const Vertex* v = nullptr;
+  const double* w = nullptr;
+
+  /// Sub-slab [first, last) of this view.
+  EdgeView slab(std::size_t first, std::size_t last) const {
+    return {num_vertices, last - first, u + first, v + first, w + first};
+  }
+};
+
+/// Owning SoA edge storage with in-place compaction. The "active slab" is the
+/// prefix [0, size()); compact() shrinks it without reallocating (the arena
+/// double-buffers internally and swaps).
+class EdgeArena {
+ public:
+  EdgeArena() = default;
+  explicit EdgeArena(Vertex num_vertices) : n_(num_vertices) {}
+  explicit EdgeArena(const Graph& g) { assign(g); }
+
+  /// Refill from a Graph, reusing existing capacity (boundary conversion in).
+  void assign(const Graph& g);
+
+  /// Active slab as a Graph (boundary conversion out). Edge order is the
+  /// arena's index order, so round-trip through Graph preserves edge ids.
+  Graph to_graph() const;
+
+  Vertex num_vertices() const { return n_; }
+  std::size_t size() const { return size_; }
+  EdgeView view() const { return {n_, size_, u_.data(), v_.data(), w_.data()}; }
+
+  Vertex u(std::size_t i) const { return u_[i]; }
+  Vertex v(std::size_t i) const { return v_[i]; }
+  double weight(std::size_t i) const { return w_[i]; }
+
+  /// Mutable weights of the active slab (in-place reweighting).
+  std::span<double> weights() { return {w_.data(), size_}; }
+
+  /// Stable in-place compaction of the active slab: edge i survives iff
+  /// keep(i), landing with weight weight_of(i) (reweight-on-compact; return
+  /// w[i] to keep it unchanged). Survivors retain relative order, so the new
+  /// id of a survivor is its rank among survivors -- identical to what a
+  /// serial filter-append loop assigns. Deterministic for every thread count
+  /// (parallel_compact). Returns the new size.
+  template <typename Keep, typename WeightOf>
+  std::size_t compact(Keep&& keep, WeightOf&& weight_of);
+
+  template <typename Keep>
+  std::size_t compact(Keep&& keep) {
+    return compact(static_cast<Keep&&>(keep),
+                   [this](std::size_t i) { return w_[i]; });
+  }
+
+  /// Total weight of the active slab (deterministic chunked sum).
+  double total_weight() const;
+
+ private:
+  std::size_t compact_commit(std::size_t new_size);
+
+  Vertex n_ = 0;
+  std::size_t size_ = 0;
+  std::vector<Vertex> u_, v_;
+  std::vector<double> w_;
+  // Double buffers for compaction scatter; swapped with the live arrays.
+  std::vector<Vertex> next_u_, next_v_;
+  std::vector<double> next_w_;
+};
+
+}  // namespace spar::graph
+
+#include "support/parallel.hpp"
+
+namespace spar::graph {
+
+template <typename Keep, typename WeightOf>
+std::size_t EdgeArena::compact(Keep&& keep, WeightOf&& weight_of) {
+  next_u_.resize(size_);
+  next_v_.resize(size_);
+  next_w_.resize(size_);
+  const std::size_t kept = support::par::parallel_compact(
+      0, static_cast<std::int64_t>(size_),
+      [&](std::int64_t i) { return keep(static_cast<std::size_t>(i)); },
+      [&](std::int64_t i, std::size_t pos) {
+        const auto id = static_cast<std::size_t>(i);
+        next_u_[pos] = u_[id];
+        next_v_[pos] = v_[id];
+        next_w_[pos] = weight_of(id);
+      });
+  return compact_commit(kept);
+}
+
+}  // namespace spar::graph

@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 
 namespace spar::graph {
 
@@ -30,34 +31,66 @@ double Graph::total_weight() const {
   return sum;
 }
 
+template <typename Keep>
+Graph Graph::filtered_impl(Keep&& keep) const {
+  namespace par = support::par;
+  Graph out(n_);
+  out.edges_.resize(edges_.size());
+  const std::size_t kept = par::parallel_compact(
+      0, static_cast<std::int64_t>(edges_.size()),
+      [&](std::int64_t id) { return keep(static_cast<EdgeId>(id)); },
+      [&](std::int64_t id, std::size_t pos) {
+        out.edges_[pos] = edges_[static_cast<EdgeId>(id)];
+      });
+  out.edges_.resize(kept);
+  return out;
+}
+
 Graph Graph::coalesced() const {
+  namespace par = support::par;
+  const std::size_t m = edges_.size();
   std::vector<Edge> sorted(edges_.begin(), edges_.end());
   for (Edge& e : sorted)
     if (e.u > e.v) std::swap(e.u, e.v);
   std::sort(sorted.begin(), sorted.end(), [](const Edge& a, const Edge& b) {
     return std::tie(a.u, a.v) < std::tie(b.u, b.v);
   });
+
+  // Compact the run heads, then sum each run's weights in index order (the
+  // order the old serial merge used, so sums are bit-identical).
+  std::vector<std::size_t> starts(m);
+  const std::size_t runs = par::parallel_compact(
+      0, static_cast<std::int64_t>(m),
+      [&](std::int64_t i) {
+        return i == 0 || std::tie(sorted[i].u, sorted[i].v) !=
+                             std::tie(sorted[i - 1].u, sorted[i - 1].v);
+      },
+      [&](std::int64_t i, std::size_t pos) {
+        starts[pos] = static_cast<std::size_t>(i);
+      });
+  starts.resize(runs);
+
   Graph out(n_);
-  out.reserve(sorted.size());
-  for (std::size_t i = 0; i < sorted.size();) {
+  out.edges_.resize(runs);
+  par::parallel_for(0, static_cast<std::int64_t>(runs), [&](std::int64_t r) {
+    const std::size_t first = starts[static_cast<std::size_t>(r)];
+    const std::size_t last =
+        static_cast<std::size_t>(r) + 1 < runs ? starts[static_cast<std::size_t>(r) + 1] : m;
     double w = 0.0;
-    std::size_t j = i;
-    while (j < sorted.size() && sorted[j].u == sorted[i].u && sorted[j].v == sorted[i].v) {
-      w += sorted[j].w;
-      ++j;
-    }
-    out.add_edge(sorted[i].u, sorted[i].v, w);
-    i = j;
-  }
+    for (std::size_t j = first; j < last; ++j) w += sorted[j].w;
+    out.edges_[static_cast<std::size_t>(r)] = {sorted[first].u, sorted[first].v, w};
+  });
   return out;
 }
 
 Graph Graph::filtered(const std::vector<bool>& keep) const {
   SPAR_CHECK(keep.size() == edges_.size(), "filtered: mask size mismatch");
-  Graph out(n_);
-  for (EdgeId id = 0; id < edges_.size(); ++id)
-    if (keep[id]) out.edges_.push_back(edges_[id]);
-  return out;
+  return filtered_impl([&](EdgeId id) -> bool { return keep[id]; });
+}
+
+Graph Graph::filtered_out(const std::vector<bool>& drop) const {
+  SPAR_CHECK(drop.size() == edges_.size(), "filtered_out: mask size mismatch");
+  return filtered_impl([&](EdgeId id) -> bool { return !drop[id]; });
 }
 
 Graph Graph::scaled(double a) const {

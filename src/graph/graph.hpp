@@ -36,11 +36,17 @@ class Graph {
   double total_weight() const;
 
   /// Merge parallel edges (same endpoint pair) by summing their weights.
-  /// The Laplacian is invariant under this operation.
+  /// The Laplacian is invariant under this operation. The run merge is a
+  /// deterministic parallel compaction (per-run sums in index order).
   Graph coalesced() const;
 
-  /// Graph with the subset of edges for which keep[id] is true.
+  /// Graph with the subset of edges for which keep[id] is true. Edge order is
+  /// preserved (stable parallel compaction).
   Graph filtered(const std::vector<bool>& keep) const;
+
+  /// Complement filter: graph with the edges for which drop[id] is false.
+  /// Same cost as filtered(), without materializing an inverted mask.
+  Graph filtered_out(const std::vector<bool>& drop) const;
 
   /// Graph with every weight multiplied by a > 0 (paper: aG).
   Graph scaled(double a) const;
@@ -53,6 +59,10 @@ class Graph {
   bool same_edges(const Graph& other) const;
 
  private:
+  /// Stable parallel-compaction core behind filtered()/filtered_out().
+  template <typename Keep>
+  Graph filtered_impl(Keep&& keep) const;
+
   Vertex n_ = 0;
   std::vector<Edge> edges_;
 };

@@ -1,6 +1,8 @@
 // Dense symmetric linear algebra for exact verification paths:
 //  * DenseMatrix with column-major storage,
-//  * cyclic Jacobi symmetric eigensolver (robust, O(n^3); n <= ~1500),
+//  * symmetric eigensolver: Householder tridiagonalization + implicit-shift
+//    QL (O(n^3) with small constants; n <= ~1500), with a values-only
+//    variant for paths that never touch eigenvectors,
 //  * Cholesky factorization/solve,
 //  * Laplacian pseudoinverse via eigendecomposition.
 //
@@ -52,10 +54,14 @@ struct EigenDecomposition {
   DenseMatrix eigenvectors;///< column k pairs with eigenvalues[k]
 };
 
-/// Cyclic Jacobi rotations; `m` must be symmetric. tol is the off-diagonal
-/// Frobenius threshold relative to ||m||_F.
-EigenDecomposition symmetric_eigen(const DenseMatrix& m, double tol = 1e-12,
-                                   int max_sweeps = 64);
+/// Full symmetric eigendecomposition: Householder tridiagonalization plus
+/// implicit-shift QL (converges to machine precision). `m` must be symmetric.
+EigenDecomposition symmetric_eigen(const DenseMatrix& m);
+
+/// Eigenvalues only (ascending), skipping eigenvector accumulation -- about
+/// half the work of symmetric_eigen; the certification path uses this for
+/// pencils where only the extreme eigenvalues matter.
+Vector symmetric_eigenvalues(const DenseMatrix& m);
 
 /// In-place Cholesky of an SPD matrix; returns lower factor. Throws on
 /// non-positive pivot.

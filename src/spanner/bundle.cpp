@@ -15,9 +15,7 @@ Graph Bundle::bundle_graph(const Graph& g) const {
 }
 
 Graph Bundle::remainder_graph(const Graph& g) const {
-  std::vector<bool> keep(in_bundle.size());
-  for (std::size_t id = 0; id < in_bundle.size(); ++id) keep[id] = !in_bundle[id];
-  return g.filtered(keep);
+  return g.filtered_out(in_bundle);
 }
 
 Bundle t_bundle(const Graph& g, const BundleOptions& options) {
@@ -26,9 +24,14 @@ Bundle t_bundle(const Graph& g, const BundleOptions& options) {
 }
 
 Bundle t_bundle(const Graph& g, const CSRGraph& csr, const BundleOptions& options) {
+  return t_bundle(g.num_edges(), csr, options);
+}
+
+Bundle t_bundle(std::size_t num_edges, const CSRGraph& csr,
+                const BundleOptions& options) {
   SPAR_CHECK(options.t >= 1, "t_bundle: t must be >= 1");
   return detail::peel_bundle(
-      g.num_edges(), options.t, options.seed,
+      num_edges, options.t, options.seed,
       [&](std::uint64_t component_seed, const std::vector<bool>& alive) {
         SpannerOptions sopt;
         sopt.k = options.k;

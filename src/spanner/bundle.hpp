@@ -48,6 +48,12 @@ Bundle t_bundle(const graph::Graph& g, const BundleOptions& options);
 Bundle t_bundle(const graph::Graph& g, const graph::CSRGraph& csr,
                 const BundleOptions& options);
 
+/// Core overload: only the edge count and the adjacency are needed, so the
+/// round pipeline can call this straight off its CSR scratch without ever
+/// materializing a Graph.
+Bundle t_bundle(std::size_t num_edges, const graph::CSRGraph& csr,
+                const BundleOptions& options);
+
 /// Remark 2 variant: components are low-stretch spanning trees instead of
 /// spanners, shrinking the bundle from O(t n log n) to t(n-1) edges.
 Bundle tree_bundle(const graph::Graph& g, const BundleOptions& options);

@@ -14,42 +14,49 @@ using graph::Graph;
 
 namespace detail {
 
-Graph assemble_sparsifier(const Graph& g, const std::vector<bool>& in_bundle,
-                          double keep_probability, std::uint64_t coin_seed_value,
-                          std::size_t* sampled_edges) {
-  const auto edges = g.edges();
+std::size_t apply_sample_verdicts(RoundContext& ctx,
+                                  const std::vector<bool>& in_bundle,
+                                  double keep_probability,
+                                  std::uint64_t coin_seed_value) {
+  namespace par = support::par;
+  const std::size_t m = ctx.num_edges();
   const double inv_p = 1.0 / keep_probability;
 
   // One independent coin per off-bundle edge; pure function of
-  // (seed, edge id), so the decision pass runs edge-parallel and only the
-  // append is serial.
-  enum : std::uint8_t { kDrop = 0, kBundle = 1, kSampled = 2 };
-  std::vector<std::uint8_t> verdict(edges.size(), kDrop);
-  support::par::parallel_for(
-      0, static_cast<std::int64_t>(edges.size()),
-      [&](std::int64_t id) {
-        if (in_bundle[static_cast<std::size_t>(id)]) {
-          verdict[static_cast<std::size_t>(id)] = kBundle;
-        } else if (keeps_edge(coin_seed_value, static_cast<EdgeId>(id),
-                              keep_probability)) {
-          verdict[static_cast<std::size_t>(id)] = kSampled;
+  // (seed, edge id), so the decision pass runs edge-parallel. Writing the
+  // verdicts and counting the sampled edges share one chunked pass; the
+  // chunk-ordered integer sum is thread-count independent.
+  std::vector<std::uint8_t>& verdict = ctx.verdict();
+  verdict.assign(m, kVerdictDrop);
+  const auto sampled = static_cast<std::size_t>(par::parallel_reduce(
+      0, static_cast<std::int64_t>(m), std::int64_t{0},
+      [&](std::int64_t cb, std::int64_t ce) {
+        std::int64_t count = 0;
+        for (std::int64_t i = cb; i < ce; ++i) {
+          const auto id = static_cast<std::size_t>(i);
+          if (in_bundle[id]) {
+            verdict[id] = kVerdictBundle;
+          } else if (keeps_edge(coin_seed_value, static_cast<EdgeId>(id),
+                                keep_probability)) {
+            verdict[id] = kVerdictSampled;
+            ++count;
+          }
         }
+        return count;
       },
-      {.enable = edges.size() > (1u << 12)});
+      [](std::int64_t a, std::int64_t b) { return a + b; },
+      {.enable = m > (1u << 12)}));
 
-  Graph sparsifier(g.num_vertices());
-  sparsifier.reserve(edges.size() / 2);
-  std::size_t sampled = 0;
-  for (EdgeId id = 0; id < edges.size(); ++id) {
-    if (verdict[id] == kBundle) {
-      sparsifier.add_edge(edges[id].u, edges[id].v, edges[id].w);
-    } else if (verdict[id] == kSampled) {
-      sparsifier.add_edge(edges[id].u, edges[id].v, edges[id].w * inv_p);
-      ++sampled;
-    }
-  }
-  *sampled_edges = sampled;
-  return sparsifier;
+  // Survivors compact in index order; sampled edges reweight by 1/p as they
+  // land. Same ids and same weights the serial append produced.
+  graph::EdgeArena& arena = ctx.arena();
+  arena.compact(
+      [&](std::size_t i) { return verdict[i] != kVerdictDrop; },
+      [&](std::size_t i) {
+        return verdict[i] == kVerdictSampled ? arena.weight(i) * inv_p
+                                             : arena.weight(i);
+      });
+  return sampled;
 }
 
 }  // namespace detail
@@ -60,31 +67,50 @@ std::size_t theory_bundle_width(std::size_t n, double epsilon) {
   return static_cast<std::size_t>(std::ceil(24.0 * log_n * log_n / (epsilon * epsilon)));
 }
 
-SampleResult parallel_sample(const Graph& g, const SampleOptions& options) {
+SampleRoundStats parallel_sample_round(RoundContext& ctx,
+                                       const SampleOptions& options) {
   SPAR_CHECK(options.epsilon > 0.0, "parallel_sample: epsilon must be positive");
   SPAR_CHECK(options.keep_probability > 0.0 && options.keep_probability <= 1.0,
              "parallel_sample: keep_probability must be in (0, 1]");
 
-  SampleResult result;
-  result.t_used = options.t != 0
-                      ? options.t
-                      : theory_bundle_width(g.num_vertices(), options.epsilon);
+  SampleRoundStats stats;
+  stats.edges_before = ctx.num_edges();
+  stats.t_used = options.t != 0
+                     ? options.t
+                     : theory_bundle_width(ctx.num_vertices(), options.epsilon);
 
   spanner::BundleOptions bopt;
-  bopt.t = result.t_used;
+  bopt.t = stats.t_used;
   bopt.seed = detail::bundle_seed(options.seed);
   bopt.work = options.work;
-  const spanner::Bundle bundle = options.bundle_kind == BundleKind::kSpanner
-                                     ? spanner::t_bundle(g, bopt)
-                                     : spanner::tree_bundle(g, bopt);
-  result.bundle_edges = bundle.bundle_edge_count;
-  result.off_bundle_edges = bundle.off_bundle_edge_count;
+  const spanner::Bundle bundle =
+      options.bundle_kind == BundleKind::kSpanner
+          ? spanner::t_bundle(ctx.num_edges(), ctx.rebuild_csr(), bopt)
+          // Tree bundles build low-stretch trees of the remainder; that path
+          // works on Graphs, so convert at the boundary (trees are the cold
+          // variant -- Remark 2).
+          : spanner::tree_bundle(ctx.arena().to_graph(), bopt);
+  stats.bundle_edges = bundle.bundle_edge_count;
+  stats.off_bundle_edges = bundle.off_bundle_edge_count;
 
   support::WorkScope work(options.work);
-  work.add(g.num_edges());
-  result.sparsifier = detail::assemble_sparsifier(
-      g, bundle.in_bundle, options.keep_probability,
-      detail::coin_seed(options.seed), &result.sampled_edges);
+  work.add(stats.edges_before);
+  stats.sampled_edges = detail::apply_sample_verdicts(
+      ctx, bundle.in_bundle, options.keep_probability,
+      detail::coin_seed(options.seed));
+  stats.edges_after = ctx.num_edges();
+  return stats;
+}
+
+SampleResult parallel_sample(const Graph& g, const SampleOptions& options) {
+  RoundContext ctx(g);
+  const SampleRoundStats stats = parallel_sample_round(ctx, options);
+  SampleResult result;
+  result.sparsifier = ctx.arena().to_graph();
+  result.bundle_edges = stats.bundle_edges;
+  result.off_bundle_edges = stats.off_bundle_edges;
+  result.sampled_edges = stats.sampled_edges;
+  result.t_used = stats.t_used;
   return result;
 }
 

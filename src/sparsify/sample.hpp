@@ -19,6 +19,7 @@
 
 #include "graph/graph.hpp"
 #include "spanner/bundle.hpp"
+#include "sparsify/round_context.hpp"
 #include "support/work_counter.hpp"
 
 namespace spar::sparsify {
@@ -52,6 +53,16 @@ struct SampleResult {
 /// The paper's theoretical bundle width for given n and eps (log base 2).
 std::size_t theory_bundle_width(std::size_t n, double epsilon);
 
+/// One PARALLELSAMPLE round executed in place on the round pipeline's
+/// context: bundle on the reusable CSR scratch, verdicts, then index
+/// compaction with in-place reweighting. No Graph is materialized; the
+/// shrunken universe stays in ctx's arena for the next round.
+SampleRoundStats parallel_sample_round(RoundContext& ctx,
+                                       const SampleOptions& options);
+
+/// Boundary wrapper: runs one round on a fresh RoundContext and materializes
+/// the result as a Graph. Output is identical to the pre-arena
+/// implementation (golden-hash pinned).
 SampleResult parallel_sample(const graph::Graph& g, const SampleOptions& options);
 
 }  // namespace spar::sparsify

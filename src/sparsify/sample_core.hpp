@@ -5,8 +5,9 @@
 // decisions so the distributed protocol reproduces the shared-memory
 // sparsifier bit for bit (pinned by
 // tests/integration/test_parallel_determinism.cpp). Keeping the derivation
-// and the coin/append pass here makes that contract un-breakable by a
-// one-sided edit.
+// and the verdict/compaction pass here makes that contract un-breakable by a
+// one-sided edit: both pipelines hand their RoundContext to
+// apply_sample_verdicts and get the identical in-place result.
 //
 // Not installed API: everything here lives in spar::sparsify::detail.
 #pragma once
@@ -14,8 +15,12 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/graph.hpp"
+#include "graph/types.hpp"
 #include "support/rng.hpp"
+
+namespace spar::sparsify {
+class RoundContext;
+}  // namespace spar::sparsify
 
 namespace spar::sparsify::detail {
 
@@ -36,13 +41,23 @@ inline bool keeps_edge(std::uint64_t coin_seed_value, graph::EdgeId id,
   return support::stream_uniform(coin_seed_value, id) < keep_probability;
 }
 
-/// G~ := bundle + surviving off-bundle edges reweighted by 1/p (Algorithm 1,
-/// steps 2-3). The decision pass runs edge-parallel; the append is serial.
-/// Writes the number of surviving off-bundle edges to *sampled_edges.
-graph::Graph assemble_sparsifier(const graph::Graph& g,
-                                 const std::vector<bool>& in_bundle,
-                                 double keep_probability,
-                                 std::uint64_t coin_seed_value,
-                                 std::size_t* sampled_edges);
+/// Per-edge round verdicts written into RoundContext::verdict().
+enum Verdict : std::uint8_t {
+  kVerdictDrop = 0,
+  kVerdictBundle = 1,
+  kVerdictSampled = 2,
+};
+
+/// Algorithm 1, steps 2-3, in place: classify every edge of ctx's arena
+/// (bundle / sampled-with-coin / dropped; edge-parallel, one pure coin per
+/// edge id), then compact the arena so survivors keep their relative order
+/// and sampled edges land reweighted by 1/p. The survivor ranks equal the
+/// edge ids a serial filter-append loop would assign, so downstream rounds
+/// see identical ids. Returns the number of sampled (coin-kept off-bundle)
+/// edges.
+std::size_t apply_sample_verdicts(RoundContext& ctx,
+                                  const std::vector<bool>& in_bundle,
+                                  double keep_probability,
+                                  std::uint64_t coin_seed_value);
 
 }  // namespace spar::sparsify::detail

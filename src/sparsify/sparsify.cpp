@@ -24,7 +24,10 @@ SparsifyResult parallel_sparsify(const Graph& g, const SparsifyOptions& options)
   result.per_round_epsilon =
       options.epsilon / static_cast<double>(result.rounds_planned);
 
-  Graph current = g;
+  // The whole round loop runs in place on one RoundContext: the edge arena
+  // shrinks by compaction, the CSR scratch and verdict buffer are reused, and
+  // a Graph is materialized only once, at the end.
+  RoundContext ctx(g);
   for (std::size_t round = 0; round < result.rounds_planned; ++round) {
     SampleOptions sopt;
     sopt.epsilon = result.per_round_epsilon;
@@ -34,23 +37,22 @@ SparsifyResult parallel_sparsify(const Graph& g, const SparsifyOptions& options)
     sopt.seed = support::mix64(options.seed, round + 1);
     sopt.work = options.work;
 
-    SampleResult sample = parallel_sample(current, sopt);
+    const SampleRoundStats sample = parallel_sample_round(ctx, sopt);
 
     RoundStats stats;
-    stats.edges_before = current.num_edges();
-    stats.edges_after = sample.sparsifier.num_edges();
+    stats.edges_before = sample.edges_before;
+    stats.edges_after = sample.edges_after;
     stats.bundle_edges = sample.bundle_edges;
     stats.sampled_edges = sample.sampled_edges;
     stats.t_used = sample.t_used;
     result.rounds.push_back(stats);
 
-    current = std::move(sample.sparsifier);
     if (options.stop_when_saturated && stats.sampled_edges == 0 &&
         stats.bundle_edges == stats.edges_before) {
       break;  // bundle swallowed the whole graph; further rounds are identities
     }
   }
-  result.sparsifier = std::move(current);
+  result.sparsifier = ctx.arena().to_graph();
   return result;
 }
 

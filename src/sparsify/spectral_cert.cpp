@@ -44,14 +44,15 @@ ApproxBounds exact_relative_bounds(const Graph& g, const Graph& h) {
     for (std::size_t i = 0; i < n; ++i) dst[i] = s * src[i];
   }
   // S = B^T L_H B is r x r symmetric; its extreme eigenvalues are the pencil
-  // bounds on range(L_G).
+  // bounds on range(L_G). Only the values are needed, so skip eigenvector
+  // accumulation.
   const DenseMatrix lh_b = lh.multiply(basis);
   const DenseMatrix s = basis.transpose().multiply(lh_b);
-  const auto spec = linalg::symmetric_eigen(s);
+  const Vector spec = linalg::symmetric_eigenvalues(s);
 
   ApproxBounds bounds;
-  bounds.lower = std::max(0.0, spec.eigenvalues.front());
-  bounds.upper = spec.eigenvalues.back();
+  bounds.lower = std::max(0.0, spec.front());
+  bounds.upper = spec.back();
   bounds.defined = true;
   return bounds;
 }

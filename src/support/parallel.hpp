@@ -185,6 +185,60 @@ T parallel_reduce(std::int64_t begin, std::int64_t end, T identity, Map&& map,
   return acc;
 }
 
+/// Deterministic parallel stream compaction (prefix-sum scatter).
+///
+/// Evaluates keep(i) for every i in [begin, end) and calls emit(i, pos) for
+/// each kept index, where pos is i's rank among the kept indices -- i.e. the
+/// output is the stable order-preserving compaction a serial
+/// `for (i) if (keep(i)) out[pos++] = f(i)` loop would produce. Two passes
+/// (per-chunk count, then exclusive prefix sum over chunks, then scatter)
+/// replace the serial append; because chunk boundaries depend only on
+/// (range, grain), every pos is identical for any thread count and for the
+/// serial build. Returns the number of kept elements.
+///
+/// keep(i) is evaluated twice per index (once per pass) and must be pure;
+/// emit(i, pos) must tolerate concurrent calls for distinct i (disjoint pos).
+template <typename Keep, typename Emit>
+std::size_t parallel_compact(std::int64_t begin, std::int64_t end, Keep&& keep,
+                             Emit&& emit, ParOpts opts = {}) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return 0;
+  const std::int64_t grain = opts.grain > 0 ? opts.grain : default_grain(n);
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  if (chunks == 1 || !opts.enable || max_threads() <= 1) {
+    // Single pass: keep() evaluated once per index, exactly the serial loop.
+    std::size_t pos = 0;
+    for (std::int64_t i = begin; i < end; ++i)
+      if (keep(i)) emit(i, pos++);
+    return pos;
+  }
+
+  std::vector<std::size_t> offset(static_cast<std::size_t>(chunks));
+  parallel_chunks(
+      begin, end,
+      [&](std::int64_t cb, std::int64_t ce, std::int64_t c, int /*worker*/) {
+        std::size_t count = 0;
+        for (std::int64_t i = cb; i < ce; ++i) count += keep(i) ? 1 : 0;
+        offset[static_cast<std::size_t>(c)] = count;
+      },
+      {.grain = grain, .enable = opts.enable});
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < offset.size(); ++c) {
+    const std::size_t count = offset[c];
+    offset[c] = total;
+    total += count;
+  }
+  parallel_chunks(
+      begin, end,
+      [&](std::int64_t cb, std::int64_t ce, std::int64_t c, int /*worker*/) {
+        std::size_t pos = offset[static_cast<std::size_t>(c)];
+        for (std::int64_t i = cb; i < ce; ++i)
+          if (keep(i)) emit(i, pos++);
+      },
+      {.grain = grain, .enable = opts.enable});
+  return total;
+}
+
 /// Human-readable backend summary ("openmp, max_threads=8, ...") for benches.
 std::string backend_description();
 

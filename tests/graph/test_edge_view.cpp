@@ -1,0 +1,163 @@
+// EdgeArena/EdgeView: the SoA storage under the sparsification round
+// pipeline. The contracts pinned here are what the round loop's bit-identity
+// rests on: Graph round-trips preserve edge order, compaction is stable and
+// deterministic across thread counts, and reweight-on-compact applies the
+// exact factor.
+#include "graph/edge_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "support/parallel.hpp"
+
+namespace spar::graph {
+namespace {
+
+Graph weighted_fixture() {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.5);
+  g.add_edge(2, 3, 0.5);
+  g.add_edge(3, 4, 4.0);
+  g.add_edge(0, 4, 3.0);
+  g.add_edge(1, 3, 1.5);
+  return g;
+}
+
+TEST(EdgeArena, GraphRoundTripPreservesOrderAndWeights) {
+  const Graph g = weighted_fixture();
+  EdgeArena arena(g);
+  EXPECT_EQ(arena.num_vertices(), g.num_vertices());
+  ASSERT_EQ(arena.size(), g.num_edges());
+  for (std::size_t i = 0; i < arena.size(); ++i) {
+    EXPECT_EQ(arena.u(i), g.edge(i).u);
+    EXPECT_EQ(arena.v(i), g.edge(i).v);
+    EXPECT_EQ(arena.weight(i), g.edge(i).w);
+  }
+  const Graph back = arena.to_graph();
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.num_edges(); ++i)
+    EXPECT_EQ(back.edge(i), g.edge(i));  // order, not just multiset
+}
+
+TEST(EdgeArena, ViewExposesSoASlabs) {
+  const Graph g = weighted_fixture();
+  const EdgeArena arena(g);
+  const EdgeView view = arena.view();
+  ASSERT_EQ(view.size, g.num_edges());
+  EXPECT_EQ(view.num_vertices, g.num_vertices());
+  for (std::size_t i = 0; i < view.size; ++i) {
+    EXPECT_EQ(view.u[i], g.edge(i).u);
+    EXPECT_EQ(view.v[i], g.edge(i).v);
+    EXPECT_EQ(view.w[i], g.edge(i).w);
+  }
+  const EdgeView sub = view.slab(2, 5);
+  ASSERT_EQ(sub.size, 3u);
+  EXPECT_EQ(sub.u[0], g.edge(2).u);
+  EXPECT_EQ(sub.w[2], g.edge(4).w);
+}
+
+TEST(EdgeArena, CompactIsStableAndReweights) {
+  const Graph g = weighted_fixture();
+  EdgeArena arena(g);
+  // Keep even ids; double the weight of id 2 as it lands.
+  const std::size_t kept = arena.compact(
+      [](std::size_t i) { return i % 2 == 0; },
+      [&](std::size_t i) { return i == 2 ? arena.weight(i) * 2.0 : arena.weight(i); });
+  ASSERT_EQ(kept, 3u);
+  ASSERT_EQ(arena.size(), 3u);
+  EXPECT_EQ(arena.u(0), g.edge(0).u);
+  EXPECT_EQ(arena.weight(0), g.edge(0).w);
+  EXPECT_EQ(arena.u(1), g.edge(2).u);
+  EXPECT_EQ(arena.weight(1), g.edge(2).w * 2.0);
+  EXPECT_EQ(arena.u(2), g.edge(4).u);
+  EXPECT_EQ(arena.weight(2), g.edge(4).w);
+}
+
+TEST(EdgeArena, CompactToEmptyAndAssignReuse) {
+  EdgeArena arena(weighted_fixture());
+  EXPECT_EQ(arena.compact([](std::size_t) { return false; }), 0u);
+  EXPECT_EQ(arena.size(), 0u);
+  EXPECT_EQ(arena.to_graph().num_edges(), 0u);
+  // Refill the same arena from a fresh Graph (buffer reuse path).
+  const Graph g2 = connected_erdos_renyi(60, 0.2, 7);
+  arena.assign(g2);
+  EXPECT_TRUE(arena.to_graph().same_edges(g2));
+}
+
+TEST(EdgeArena, CompactDeterministicAcrossThreadCounts) {
+  const Graph g = connected_erdos_renyi(500, 0.05, 11);
+  Graph base;
+  for (int threads : {1, 2, 4}) {
+    support::par::ThreadLimit limit(threads);
+    EdgeArena arena(g);
+    arena.compact([](std::size_t i) { return i % 3 != 0; },
+                  [&](std::size_t i) { return arena.weight(i) * 4.0; });
+    const Graph got = arena.to_graph();
+    if (threads == 1) {
+      base = got;
+    } else {
+      ASSERT_EQ(base.num_edges(), got.num_edges());
+      for (std::size_t i = 0; i < base.num_edges(); ++i)
+        EXPECT_EQ(base.edge(i), got.edge(i)) << threads << " threads";
+    }
+  }
+}
+
+TEST(EdgeArena, InPlaceReweightThroughWeightsSpan) {
+  EdgeArena arena(weighted_fixture());
+  for (double& w : arena.weights()) w *= 4.0;
+  EXPECT_EQ(arena.weight(3), 16.0);
+  EXPECT_DOUBLE_EQ(arena.total_weight(), 4.0 * (1.0 + 2.5 + 0.5 + 4.0 + 3.0 + 1.5));
+}
+
+TEST(CSRGraph, RebuildFromViewMatchesGraphConstruction) {
+  const Graph g = connected_erdos_renyi(200, 0.08, 3);
+  const EdgeArena arena(g);
+  const CSRGraph from_graph(g);
+  CSRGraph from_view;
+  from_view.rebuild(arena.view());
+  ASSERT_EQ(from_view.num_vertices(), from_graph.num_vertices());
+  ASSERT_EQ(from_view.num_arcs(), from_graph.num_arcs());
+  for (Vertex v = 0; v < from_graph.num_vertices(); ++v) {
+    const auto a = from_graph.neighbors(v);
+    const auto b = from_view.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].to, b[i].to);
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].w, b[i].w);
+    }
+  }
+}
+
+TEST(CSRGraph, RebuildReusesObjectAcrossShrinkingInputs) {
+  // The round loop's pattern: one CSRGraph rebuilt from a shrinking arena.
+  const Graph g = connected_erdos_renyi(150, 0.1, 9);
+  EdgeArena arena(g);
+  CSRGraph csr;
+  csr.rebuild(arena.view());
+  const std::size_t arcs_full = csr.num_arcs();
+  arena.compact([](std::size_t i) { return i % 2 == 0; });
+  csr.rebuild(arena.view());
+  EXPECT_EQ(csr.num_arcs(), 2 * arena.size());
+  EXPECT_LT(csr.num_arcs(), arcs_full);
+  // Must equal a fresh build from the equivalent Graph.
+  const CSRGraph fresh(arena.to_graph());
+  ASSERT_EQ(fresh.num_arcs(), csr.num_arcs());
+  for (Vertex v = 0; v < fresh.num_vertices(); ++v) {
+    const auto a = fresh.neighbors(v);
+    const auto b = csr.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].to, b[i].to);
+      EXPECT_EQ(a[i].id, b[i].id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spar::graph

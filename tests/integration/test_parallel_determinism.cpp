@@ -5,6 +5,9 @@
 // output exactly (same derived seeds, same decision logic).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+#include <tuple>
 #include <vector>
 
 #include "dist/dist_spanner.hpp"
@@ -30,6 +33,32 @@ sparsify::SparsifyOptions sparsify_options(std::uint64_t seed) {
   return opt;
 }
 
+/// Order-insensitive, bit-exact fingerprint of (n, edge multiset): FNV-1a
+/// over the normalized sorted edge list, weights by IEEE-754 bit pattern.
+std::uint64_t edge_multiset_hash(const Graph& g) {
+  std::vector<graph::Edge> es(g.edges().begin(), g.edges().end());
+  for (auto& e : es)
+    if (e.u > e.v) std::swap(e.u, e.v);
+  std::sort(es.begin(), es.end(), [](const graph::Edge& a, const graph::Edge& b) {
+    return std::tie(a.u, a.v, a.w) < std::tie(b.u, b.v, b.w);
+  });
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(g.num_vertices());
+  mix(es.size());
+  for (const auto& e : es) {
+    mix(e.u);
+    mix(e.v);
+    std::uint64_t wb = 0;
+    std::memcpy(&wb, &e.w, sizeof(wb));
+    mix(wb);
+  }
+  return h;
+}
+
 TEST(ParallelDeterminism, SparsifyEdgeSetsIdenticalAcrossThreadCounts) {
   const Graph g = graph::randomize_weights(graph::complete_graph(90), 0.5, 21);
   sparsify::SparsifyResult base;
@@ -46,6 +75,53 @@ TEST(ParallelDeterminism, SparsifyEdgeSetsIdenticalAcrossThreadCounts) {
     for (std::size_t r = 0; r < base.rounds.size(); ++r) {
       EXPECT_EQ(base.rounds[r].edges_after, other.rounds[r].edges_after);
       EXPECT_EQ(base.rounds[r].sampled_edges, other.rounds[r].sampled_edges);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, SparsifyOutputMatchesPreRefactorGoldenHashes) {
+  // Golden fingerprints recorded from the pre-EdgeArena pipeline (PR 1 state,
+  // serial assemble loop + per-round Graph/CSR rebuild) on x86-64 gcc,
+  // Release. The zero-copy round pipeline must reproduce them bit for bit,
+  // for every thread count and for the OpenMP-off build (this test runs in
+  // both CI configurations). Weights go through IEEE *, /, and glibc
+  // exp/log in the generators only, so the constants are stable on the
+  // toolchains CI uses. If a deliberate algorithm change breaks them,
+  // re-record via the recipe in BUILDING.md ("Re-baselining").
+  struct GoldenCase {
+    const char* name;
+    Graph g;
+    sparsify::SparsifyOptions opt;
+    std::size_t edges_out;
+    std::uint64_t hash;
+  };
+  sparsify::SparsifyOptions er_opt;
+  er_opt.rho = 4.0;
+  er_opt.t = 2;
+  er_opt.seed = 7;
+  sparsify::SparsifyOptions tree_opt;
+  tree_opt.rho = 4.0;
+  tree_opt.t = 2;
+  tree_opt.seed = 9;
+  tree_opt.bundle_kind = sparsify::BundleKind::kTree;
+
+  std::vector<GoldenCase> cases;
+  cases.push_back({"complete90",
+                   graph::randomize_weights(graph::complete_graph(90), 0.5, 21),
+                   sparsify_options(33), 1063, 0x499d6702380afe3cULL});
+  cases.push_back({"er300", graph::connected_erdos_renyi(300, 0.08, 5), er_opt,
+                   3054, 0x1918ee21c74950d0ULL});
+  cases.push_back({"er300-tree", graph::connected_erdos_renyi(300, 0.08, 5),
+                   tree_opt, 827, 0xb5eebf49cd2ccfedULL});
+
+  for (const auto& c : cases) {
+    for (int threads : {1, 2, 4}) {
+      support::par::ThreadLimit limit(threads);
+      const auto result = sparsify::parallel_sparsify(c.g, c.opt);
+      EXPECT_EQ(result.sparsifier.num_edges(), c.edges_out)
+          << c.name << " @ " << threads << " threads";
+      EXPECT_EQ(edge_multiset_hash(result.sparsifier), c.hash)
+          << c.name << " @ " << threads << " threads";
     }
   }
 }

@@ -190,6 +190,62 @@ TEST(ChunkRng, StreamsIndependentOfThreadCount) {
   }
 }
 
+TEST(ParallelCompact, MatchesSerialFilterAcrossThreadCounts) {
+  const std::int64_t n = 50000;
+  const auto keep = [](std::int64_t i) { return i % 3 == 0 || i % 7 == 0; };
+  std::vector<std::int64_t> expected;
+  for (std::int64_t i = 0; i < n; ++i)
+    if (keep(i)) expected.push_back(i);
+
+  for (int threads : {1, 2, 4}) {
+    par::ThreadLimit limit(threads);
+    std::vector<std::int64_t> out(static_cast<std::size_t>(n), -1);
+    const std::size_t kept = par::parallel_compact(
+        0, n, keep,
+        [&](std::int64_t i, std::size_t pos) { out[pos] = i; },
+        {.grain = 512});
+    ASSERT_EQ(kept, expected.size()) << threads << " threads";
+    out.resize(kept);
+    EXPECT_EQ(out, expected) << threads << " threads";
+  }
+}
+
+TEST(ParallelCompact, RanksAreStableWithDefaultGrain) {
+  // Ranks must equal the serial filter-append order even when the grain (and
+  // therefore the chunk layout) is the default heuristic.
+  const std::int64_t n = 300000;
+  const auto keep = [](std::int64_t i) { return (i & 1) == 0; };
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n), -1);
+  const std::size_t kept = par::parallel_compact(
+      0, n, keep, [&](std::int64_t i, std::size_t pos) { out[pos] = i; });
+  ASSERT_EQ(kept, static_cast<std::size_t>(n / 2));
+  for (std::size_t pos = 0; pos < kept; ++pos)
+    ASSERT_EQ(out[pos], static_cast<std::int64_t>(2 * pos));
+}
+
+TEST(ParallelCompact, EdgeCases) {
+  int calls = 0;
+  const auto count = [&](std::int64_t, std::size_t) { ++calls; };
+  EXPECT_EQ(par::parallel_compact(0, 0, [](std::int64_t) { return true; }, count), 0u);
+  EXPECT_EQ(par::parallel_compact(9, 3, [](std::int64_t) { return true; }, count), 0u);
+  EXPECT_EQ(calls, 0);
+  // keep-none and keep-all.
+  EXPECT_EQ(par::parallel_compact(0, 1000, [](std::int64_t) { return false; }, count,
+                                  {.grain = 64}),
+            0u);
+  EXPECT_EQ(calls, 0);
+  std::size_t last_pos = 0;
+  EXPECT_EQ(par::parallel_compact(
+                0, 1000, [](std::int64_t) { return true; },
+                [&](std::int64_t i, std::size_t pos) {
+                  EXPECT_EQ(static_cast<std::size_t>(i), pos);
+                  last_pos = pos;
+                },
+                {.grain = 64}),
+            1000u);
+  EXPECT_EQ(last_pos, 999u);
+}
+
 TEST(ThreadLimit, RestoresPreviousBudget) {
   const int before = par::max_threads();
   {
