@@ -1,0 +1,183 @@
+// E11 (ingestion): graph I/O throughput -- the legacy line-at-a-time text
+// parser vs the chunked parallel text parser vs the SPARBIN binary format,
+// plus the csr_build serial/atomic-scatter crossover that decides
+// CsrBuildPath::kAuto.
+//
+// The acceptance bar for PR 3 (BENCH_pr3.json): binary load >= 10x the legacy
+// text path on a >= 1M-edge graph, and the parallel text parser beats the
+// legacy path already at 1 thread.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "graph/csr.hpp"
+#include "support/assert.hpp"
+#include "graph/io.hpp"
+#include "graph/io_binary.hpp"
+#include "support/parallel.hpp"
+
+using namespace spar;
+
+namespace {
+
+// The pre-PR 3 reader, verbatim: one istringstream per line. Kept here (not
+// in the library) purely as the comparison baseline.
+graph::Graph legacy_read_edge_list(std::istream& in) {
+  std::string line;
+  auto next_content_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+  SPAR_CHECK(next_content_line(), "legacy: empty input");
+  std::istringstream header(line);
+  std::size_t n = 0, m = 0;
+  SPAR_CHECK(static_cast<bool>(header >> n >> m), "legacy: bad header");
+  graph::Graph g(static_cast<graph::Vertex>(n));
+  g.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    SPAR_CHECK(next_content_line(), "legacy: truncated edge list");
+    std::istringstream row(line);
+    graph::Vertex u = 0, v = 0;
+    double w = 1.0;
+    SPAR_CHECK(static_cast<bool>(row >> u >> v), "legacy: bad edge row");
+    row >> w;
+    g.add_edge(u, v, w);
+  }
+  return g;
+}
+
+double mb(std::uintmax_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+
+bool identical(const graph::Graph& a, const graph::Graph& b) {
+  if (a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges())
+    return false;
+  for (std::size_t i = 0; i < a.num_edges(); ++i)
+    if (!(a.edge(i) == b.edge(i))) return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Options opt(argc, argv);
+  const bool quick = opt.get_bool("quick", false);
+  const std::uint64_t seed = opt.get_int("seed", 19);
+  const auto n =
+      static_cast<graph::Vertex>(opt.get_int("n", quick ? 20000 : 131072));
+  const bool csr_sweep = opt.get_bool("csr", !quick);
+  const std::vector<int> thread_counts = {1, 2, 4};
+  const int hw = support::par::max_threads();
+
+  std::printf("parallel backend: %s\n", support::par::backend_description().c_str());
+
+  const graph::Graph g =
+      graph::randomize_weights(bench::make_family("er", n, seed), 2.0, seed + 1);
+  std::printf("workload: er n=%u m=%zu (randomized weights)\n", g.num_vertices(),
+              g.num_edges());
+
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "spar_bench_io";
+  fs::create_directories(dir);
+  const std::string text_path = (dir / "g.txt").string();
+  const std::string bin_path = (dir / "g.spb").string();
+
+  support::Table table({"path", "threads", "ms", "MB/s", "vs legacy"});
+  auto add = [&](const std::string& label, int threads, double ms,
+                 std::uintmax_t bytes, double legacy_ms) {
+    table.add_row({label, std::to_string(threads), support::Table::cell(ms),
+                   support::Table::cell(mb(bytes) / (ms / 1e3)),
+                   legacy_ms > 0 ? support::Table::cell(legacy_ms / ms) + "x" : "-"});
+  };
+
+  support::Timer t0;
+  graph::save_edge_list(text_path, g);
+  const double text_write_ms = t0.millis();
+  const std::uintmax_t text_bytes = fs::file_size(text_path);
+
+  t0.reset();
+  std::ifstream in(text_path);
+  const graph::Graph legacy = legacy_read_edge_list(in);
+  in.close();
+  const double legacy_ms = t0.millis();
+  add("text load (legacy istringstream)", 1, legacy_ms, text_bytes, legacy_ms);
+
+  graph::Graph parsed;
+  for (const int threads : thread_counts) {
+    support::par::set_num_threads(threads);
+    t0.reset();
+    graph::Graph got = graph::load_edge_list(text_path);
+    const double ms = t0.millis();
+    add("text load (parallel from_chars)", threads, ms, text_bytes, legacy_ms);
+    if (threads == 1) parsed = std::move(got);
+  }
+  support::par::set_num_threads(hw);
+
+  t0.reset();
+  graph::save_binary(bin_path, g);
+  const double bin_write_ms = t0.millis();
+  const std::uintmax_t bin_bytes = fs::file_size(bin_path);
+
+  graph::Graph from_bin;
+  for (const int threads : thread_counts) {
+    support::par::set_num_threads(threads);
+    graph::EdgeArena arena;
+    t0.reset();
+    graph::load_binary(bin_path, arena);
+    const double ms = t0.millis();
+    add("binary load (SPARBIN -> arena)", threads, ms, bin_bytes, legacy_ms);
+    if (threads == 1) from_bin = arena.to_graph();
+  }
+  support::par::set_num_threads(hw);
+
+  table.print("E11: ingestion throughput, text " +
+              std::to_string(static_cast<std::size_t>(mb(text_bytes))) + " MB, binary " +
+              std::to_string(static_cast<std::size_t>(mb(bin_bytes))) + " MB");
+  std::printf("text write %.1f ms, binary write %.1f ms\n", text_write_ms, bin_write_ms);
+  const bool ok = identical(legacy, parsed) && identical(parsed, from_bin);
+  std::printf("loads bit-identical across legacy/parallel/binary: %s\n",
+              ok ? "yes" : "NO (BUG)");
+
+  fs::remove(text_path);
+  fs::remove(bin_path);
+  fs::remove(dir);
+
+  if (csr_sweep) {
+    // What CsrBuildPath::kAuto is tuned from: forced-serial vs forced-atomic
+    // scatter across m and thread budget. On a single-core container the
+    // atomic path only ever loses; on real multicore it wins once
+    // m / threads clears the per-thread threshold.
+    support::Table csr({"m", "threads", "serial ms", "atomic ms", "auto picks"});
+    for (const graph::Vertex cn : {std::uint32_t{2048}, std::uint32_t{16384},
+                                   std::uint32_t{131072}}) {
+      const graph::Graph cg = bench::make_family("er", cn, seed + cn);
+      for (const int threads : thread_counts) {
+        support::par::set_num_threads(threads);
+        graph::set_csr_build_path(graph::CsrBuildPath::kSerial);
+        support::Timer ts;
+        const graph::CSRGraph serial_csr(cg);
+        const double serial_ms = ts.millis();
+        graph::set_csr_build_path(graph::CsrBuildPath::kParallel);
+        support::Timer tp;
+        const graph::CSRGraph atomic_csr(cg);
+        const double atomic_ms = tp.millis();
+        graph::set_csr_build_path(graph::CsrBuildPath::kAuto);
+        csr.add_row({std::to_string(cg.num_edges()), std::to_string(threads),
+                     support::Table::cell(serial_ms), support::Table::cell(atomic_ms),
+                     graph::csr_parallel_build_enabled(cg.num_edges()) ? "atomic"
+                                                                       : "serial"});
+        (void)serial_csr;
+        (void)atomic_csr;
+      }
+    }
+    support::par::set_num_threads(hw);
+    csr.print("csr_build crossover (forced paths; kAuto gate = 16k edges per "
+              "effective thread)");
+  }
+  return ok ? 0 : 1;
+}

@@ -1,121 +1,334 @@
-// Command-line sparsification utility: read a graph, sparsify it with the
-// method of your choice, print a quality report, optionally write the result.
+// Batch sparsification driver and graph format converter.
 //
-//   ./sparsify_tool --in=graph.txt [--out=sparse.txt] [--method=koutis]
-//                   [--rho=8] [--eps=1.0] [--t=3] [--seed=1] [--mm]
+//   sparsify_tool <inputs...> [--method=koutis,ss] [--eps=0.5,1.0] [--rho=8,32]
+//                 [--t=3] [--keep=0.25] [--seed=1] [--json=report.json]
+//                 [--out=sparse.spb]
+//   sparsify_tool --in=g.txt --convert=g.spb
+//
+// Inputs (one or more, positional or --in=a,b): file paths, or synthetic
+// specs `gen:<family>:<params>[:seed]`, e.g. gen:grid:64x48, gen:wgrid:32x32:7
+// (randomized weights), gen:er:5000:3, gen:complete:128, gen:pa:4096:1.
+// File formats are auto-detected by content magic, then extension:
+// .mtx/.mm MatrixMarket, .spb/.bin SPARBIN binary, anything else edge list.
+//
+// Batch mode runs every (input x method x eps x rho) cell, prints a quality
+// report per cell, and with --json writes the machine-readable records.
+// --out writes the sparsifier (format by extension) and requires the matrix
+// to be a single cell. --convert loads one input and rewrites it in the
+// format implied by the destination path, no sparsification.
 //
 // Methods: koutis (PARALLELSPARSIFY), sample (one PARALLELSAMPLE round),
-//          ss (Spielman-Srivastava), uniform, incremental (KMP-style).
-// Input format: edge list ("n m" header, then "u v w" lines) or MatrixMarket
-// with --mm. Disconnected inputs are reduced to their largest component.
+//          ss (Spielman-Srivastava), uniform (--keep), incremental (KMP-style).
+// Disconnected inputs are reduced to their largest component.
+// Exit: 0 ok, 1 error, 2 usage, 3 a sparsifier came out disconnected.
 #include <cstdio>
+#include <exception>
 #include <fstream>
+#include <string>
+#include <vector>
 
+#include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/subgraph.hpp"
-#include "support/assert.hpp"
 #include "sparsify/baselines.hpp"
 #include "sparsify/incremental.hpp"
 #include "sparsify/quality.hpp"
 #include "sparsify/sparsify.hpp"
+#include "support/error.hpp"
 #include "support/options.hpp"
 #include "support/timer.hpp"
 
-int main(int argc, char** argv) {
-  using namespace spar;
+namespace {
+
+using namespace spar;
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t next = s.find(sep, pos);
+    out.push_back(s.substr(pos, next == std::string::npos ? next : next - pos));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+using support::parse_number;
+
+std::vector<double> parse_list(const support::Options& opt, const std::string& key,
+                               double fallback) {
+  if (!opt.has(key)) return {fallback};
+  std::vector<double> out;
+  for (const std::string& tok : split(opt.get(key, ""), ','))
+    out.push_back(parse_number<double>("--" + key, tok));
+  if (out.empty()) throw Error("--" + key + " needs at least one value");
+  return out;
+}
+
+/// `gen:<family>:<params>[:seed]` synthetic inputs, so smoke tests and CI
+/// need no fixture files.
+graph::Graph generate_input(const std::string& spec) {
+  const auto parts = split(spec, ':');
+  if (parts.size() < 2) throw Error("bad gen spec: " + spec);
+  const std::string& family = parts[1];
+  const std::uint64_t seed =
+      parts.size() > 3 ? parse_number<std::uint64_t>("gen seed", parts[3]) : 1;
+  auto dims = [&](const char* what) {
+    if (parts.size() < 3) throw Error(std::string("gen:") + family + " needs " + what);
+    return parts[2];
+  };
+  if (family == "grid" || family == "wgrid") {
+    const auto rc = split(dims("RxC"), 'x');
+    if (rc.size() != 2) throw Error("gen:grid wants RxC, got " + dims("RxC"));
+    const auto g = graph::grid2d(parse_number<graph::Vertex>("grid rows", rc[0]),
+                                 parse_number<graph::Vertex>("grid cols", rc[1]));
+    return family == "wgrid" ? graph::randomize_weights(g, 2.0, seed) : g;
+  }
+  const auto n = parse_number<graph::Vertex>("gen size", dims("a size"));
+  if (family == "er") {
+    const double p = std::min(1.0, 16.0 / static_cast<double>(n));
+    return graph::connected_erdos_renyi(n, p, seed);
+  }
+  if (family == "wer") {
+    const double p = std::min(1.0, 16.0 / static_cast<double>(n));
+    return graph::randomize_weights(graph::connected_erdos_renyi(n, p, seed), 2.0,
+                                    seed + 1);
+  }
+  if (family == "complete") return graph::complete_graph(n);
+  if (family == "pa") return graph::preferential_attachment(n, 4, seed);
+  if (family == "ws") return graph::watts_strogatz(n, 4, 0.1, seed);
+  throw Error("unknown gen family: " + family +
+              " (want grid, wgrid, er, wer, complete, pa, ws)");
+}
+
+graph::Graph load_input(const std::string& spec) {
+  if (spec.rfind("gen:", 0) == 0) return generate_input(spec);
+  return graph::load_graph(spec);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  char buf[8];
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+struct RunRecord {
+  std::string input, method;
+  graph::Vertex n = 0;
+  std::size_t m = 0;
+  bool reduced_to_component = false;
+  double eps = 0, rho = 0;
+  std::size_t t = 0;
+  std::uint64_t seed = 0;
+  double ms = 0;
+  sparsify::QualityReport report;
+};
+
+void write_json(const std::string& path, const std::vector<RunRecord>& runs) {
+  std::ofstream out(path);
+  if (!out.good()) throw Error("cannot open --json path " + path);
+  out << "{\n  \"tool\": \"sparsify_tool\",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunRecord& r = runs[i];
+    const auto& q = r.report;
+    out << "    {\"input\": \"" << json_escape(r.input) << "\", \"n\": " << r.n
+        << ", \"m\": " << r.m
+        << ", \"largest_component_used\": " << (r.reduced_to_component ? "true" : "false")
+        << ", \"method\": \"" << r.method << "\", \"eps\": " << r.eps
+        << ", \"rho\": " << r.rho << ", \"t\": " << r.t << ", \"seed\": " << r.seed
+        << ", \"ms\": " << r.ms << ", \"edges_out\": " << q.edges_sparsifier
+        << ", \"edge_reduction\": " << q.edge_reduction()
+        << ", \"min_quadratic_ratio\": " << q.min_quadratic_ratio
+        << ", \"max_quadratic_ratio\": " << q.max_quadratic_ratio
+        << ", \"min_cut_ratio\": " << q.min_cut_ratio
+        << ", \"max_cut_ratio\": " << q.max_cut_ratio
+        << ", \"connected\": " << (q.sparsifier_connected ? "true" : "false")
+        << ", \"weight_in\": " << q.weight_original
+        << ", \"weight_out\": " << q.weight_sparsifier << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out.good()) throw Error("write failed for --json path " + path);
+}
+
+bool known_method(const std::string& method) {
+  for (const char* m : {"koutis", "sample", "ss", "uniform", "incremental"})
+    if (method == m) return true;
+  return false;
+}
+
+graph::Graph run_method(const graph::Graph& g, const std::string& method, double eps,
+                        double rho, std::size_t t, std::uint64_t seed, double keep) {
+  if (method == "koutis") {
+    sparsify::SparsifyOptions sopt;
+    sopt.epsilon = eps;
+    sopt.rho = rho;
+    sopt.t = t;
+    sopt.seed = seed;
+    return sparsify::parallel_sparsify(g, sopt).sparsifier;
+  }
+  if (method == "sample") {
+    sparsify::SampleOptions sopt;
+    sopt.epsilon = eps;
+    sopt.t = t;
+    sopt.seed = seed;
+    return sparsify::parallel_sample(g, sopt).sparsifier;
+  }
+  if (method == "ss") {
+    sparsify::SpielmanSrivastavaOptions sopt;
+    sopt.epsilon = eps;
+    sopt.seed = seed;
+    return sparsify::spielman_srivastava(g, sopt).sparsifier;
+  }
+  if (method == "uniform") return sparsify::uniform_sparsify(g, keep, seed);
+  if (method == "incremental") {
+    sparsify::IncrementalOptions sopt;
+    sopt.epsilon = eps;
+    sopt.seed = seed;
+    return sparsify::incremental_sparsify(g, sopt).sparsifier;
+  }
+  throw Error("unknown method: " + method +
+              " (want koutis, sample, ss, uniform or incremental)");
+}
+
+int run(int argc, char** argv) {
   const support::Options opt(argc, argv);
-  const std::string in_path = opt.get("in", "");
-  if (in_path.empty()) {
-    std::fprintf(stderr,
-                 "usage: sparsify_tool --in=graph.txt [--out=sparse.txt] "
-                 "[--method=koutis|sample|ss|uniform|incremental] [--rho=8] "
-                 "[--eps=1.0] [--t=3] [--keep=0.25] [--seed=1] [--mm]\n");
+
+  std::vector<std::string> inputs = opt.positional();
+  if (opt.has("in"))
+    for (const std::string& s : split(opt.get("in", ""), ','))
+      if (!s.empty()) inputs.push_back(s);
+  if (opt.has("gen")) inputs.push_back("gen:" + opt.get("gen", ""));
+  if (inputs.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: sparsify_tool <inputs...> [--method=koutis,ss] [--eps=0.5,1.0]\n"
+        "                     [--rho=8,32] [--t=3] [--keep=0.25] [--seed=1]\n"
+        "                     [--json=report.json] [--out=sparse.spb]\n"
+        "       sparsify_tool --in=g.txt --convert=g.spb\n"
+        "inputs: paths (.mtx/.mm, .spb/.bin, else edge list; content magic wins)\n"
+        "        or gen:<family>:<params>[:seed] (grid:RxC, wgrid:RxC, er:N,\n"
+        "        wer:N, complete:N, pa:N, ws:N)\n");
     return 2;
   }
 
-  graph::Graph input;
-  try {
-    if (opt.get_bool("mm", false)) {
-      std::ifstream in(in_path);
-      SPAR_CHECK(in.good(), "cannot open " + in_path);
-      input = graph::read_matrix_market(in);
-    } else {
-      input = graph::load_edge_list(in_path);
-    }
-  } catch (const spar::Error& err) {
-    std::fprintf(stderr, "error reading %s: %s\n", in_path.c_str(), err.what());
-    return 1;
-  }
-
-  auto comp = graph::largest_component(input);
-  if (comp.graph.num_vertices() != input.num_vertices()) {
-    std::printf("input is disconnected; using largest component: %u of %u vertices\n",
-                comp.graph.num_vertices(), input.num_vertices());
-  }
-  const graph::Graph& g = comp.graph;
-  std::printf("graph: n=%u m=%zu total weight %.6g\n", g.num_vertices(),
-              g.num_edges(), g.total_weight());
-
-  const std::string method = opt.get("method", "koutis");
-  const double eps = opt.get_double("eps", 1.0);
-  const double rho = opt.get_double("rho", 8.0);
+  // Parse and validate the whole option matrix before touching any file, so
+  // a malformed value fails fast with a clean message.
+  const std::vector<std::string> methods = split(opt.get("method", "koutis"), ',');
+  const std::vector<double> eps_list = parse_list(opt, "eps", 1.0);
+  const std::vector<double> rho_list = parse_list(opt, "rho", 8.0);
   const auto t = static_cast<std::size_t>(opt.get_int("t", 3));
   const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+  const double keep = opt.get_double("keep", 0.25);
+  const std::string json_path = opt.get("json", "");
+  const std::string out_path = opt.get("out", "");
+  const std::string convert_path = opt.get("convert", "");
+  for (const std::string& method : methods)
+    if (!known_method(method))
+      throw Error("unknown method: " + method +
+                  " (want koutis, sample, ss, uniform or incremental)");
+  if (!json_path.empty()) {
+    // Probe the sink now: an unwritable path must not discard a finished batch.
+    std::ofstream probe(json_path, std::ios::app);
+    if (!probe.good()) throw Error("cannot open --json path " + json_path);
+  }
 
-  support::Timer timer;
-  graph::Graph sparse;
+  if (!convert_path.empty()) {
+    if (inputs.size() != 1)
+      throw Error("--convert takes exactly one input, got " +
+                  std::to_string(inputs.size()));
+    const graph::Graph g = load_input(inputs[0]);
+    graph::save_graph(convert_path, g);
+    std::printf("converted %s -> %s (%s): n=%u m=%zu\n", inputs[0].c_str(),
+                convert_path.c_str(),
+                graph::format_name(graph::format_from_extension(convert_path)),
+                g.num_vertices(), g.num_edges());
+    return 0;
+  }
+
+  const std::size_t cells =
+      inputs.size() * methods.size() * eps_list.size() * rho_list.size();
+  if (!out_path.empty() && cells != 1)
+    throw Error("--out needs a single (input x method x eps x rho) cell, got " +
+                std::to_string(cells));
+
+  std::vector<RunRecord> records;
+  bool all_connected = true;
+  for (const std::string& spec : inputs) {
+    const graph::Graph input = load_input(spec);
+    auto comp = graph::largest_component(input);
+    const bool reduced = comp.graph.num_vertices() != input.num_vertices();
+    if (reduced)
+      std::printf("%s: disconnected; using largest component: %u of %u vertices\n",
+                  spec.c_str(), comp.graph.num_vertices(), input.num_vertices());
+    const graph::Graph& g = comp.graph;
+    std::printf("%s: n=%u m=%zu total weight %.6g\n", spec.c_str(), g.num_vertices(),
+                g.num_edges(), g.total_weight());
+
+    for (const std::string& method : methods)
+      for (double eps : eps_list)
+        for (double rho : rho_list) {
+          support::Timer timer;
+          const graph::Graph sparse = run_method(g, method, eps, rho, t, seed, keep);
+          const double ms = timer.millis();
+          RunRecord rec;
+          rec.input = spec;
+          rec.method = method;
+          rec.n = g.num_vertices();
+          rec.m = g.num_edges();
+          rec.reduced_to_component = reduced;
+          rec.eps = eps;
+          rec.rho = rho;
+          rec.t = t;
+          rec.seed = seed;
+          rec.ms = ms;
+          rec.report = sparsify::quality_report(g, sparse);
+          const auto& q = rec.report;
+          std::printf(
+              "  method=%s eps=%g rho=%g: %zu -> %zu edges (%.2fx) in %.1f ms; "
+              "quad [%.4f, %.4f] cut [%.4f, %.4f] %s\n",
+              method.c_str(), eps, rho, q.edges_original, q.edges_sparsifier,
+              q.edge_reduction(), ms, q.min_quadratic_ratio, q.max_quadratic_ratio,
+              q.min_cut_ratio, q.max_cut_ratio,
+              q.sparsifier_connected ? "connected" : "DISCONNECTED");
+          all_connected = all_connected && q.sparsifier_connected;
+          records.push_back(std::move(rec));
+          if (!out_path.empty()) {
+            graph::save_graph(out_path, sparse);
+            std::printf("  wrote %s (%s)\n", out_path.c_str(),
+                        graph::format_name(graph::format_from_extension(out_path)));
+          }
+        }
+  }
+
+  if (!json_path.empty()) {
+    write_json(json_path, records);
+    std::printf("wrote %s (%zu runs)\n", json_path.c_str(), records.size());
+  }
+  return all_connected ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   try {
-    if (method == "koutis") {
-      sparsify::SparsifyOptions sopt;
-      sopt.epsilon = eps;
-      sopt.rho = rho;
-      sopt.t = t;
-      sopt.seed = seed;
-      sparse = sparsify::parallel_sparsify(g, sopt).sparsifier;
-    } else if (method == "sample") {
-      sparsify::SampleOptions sopt;
-      sopt.epsilon = eps;
-      sopt.t = t;
-      sopt.seed = seed;
-      sparse = sparsify::parallel_sample(g, sopt).sparsifier;
-    } else if (method == "ss") {
-      sparsify::SpielmanSrivastavaOptions sopt;
-      sopt.epsilon = eps;
-      sopt.seed = seed;
-      sparse = sparsify::spielman_srivastava(g, sopt).sparsifier;
-    } else if (method == "uniform") {
-      sparse = sparsify::uniform_sparsify(g, opt.get_double("keep", 0.25), seed);
-    } else if (method == "incremental") {
-      sparsify::IncrementalOptions sopt;
-      sopt.epsilon = eps;
-      sopt.seed = seed;
-      sparse = sparsify::incremental_sparsify(g, sopt).sparsifier;
-    } else {
-      std::fprintf(stderr, "unknown method: %s\n", method.c_str());
-      return 2;
-    }
-  } catch (const spar::Error& err) {
-    std::fprintf(stderr, "sparsification failed: %s\n", err.what());
+    return run(argc, argv);
+  } catch (const std::exception& err) {
+    // Everything, not just spar::Error: a bad_alloc or a stray logic_error
+    // used to escape as std::terminate with no message at all.
+    std::fprintf(stderr, "sparsify_tool: error: %s\n", err.what());
     return 1;
   }
-  const double ms = timer.millis();
-
-  const auto report = sparsify::quality_report(g, sparse);
-  std::printf("method=%s: %zu -> %zu edges (%.2fx) in %.1f ms\n", method.c_str(),
-              report.edges_original, report.edges_sparsifier,
-              report.edge_reduction(), ms);
-  std::printf("quadratic-form ratios over random probes: [%.4f, %.4f]\n",
-              report.min_quadratic_ratio, report.max_quadratic_ratio);
-  std::printf("cut ratios over random bipartitions:       [%.4f, %.4f]\n",
-              report.min_cut_ratio, report.max_cut_ratio);
-  std::printf("connected: %s, weight %.6g -> %.6g\n",
-              report.sparsifier_connected ? "yes" : "NO", report.weight_original,
-              report.weight_sparsifier);
-
-  const std::string out_path = opt.get("out", "");
-  if (!out_path.empty()) {
-    graph::save_edge_list(out_path, sparse);
-    std::printf("wrote %s\n", out_path.c_str());
-  }
-  return report.sparsifier_connected ? 0 : 3;
 }

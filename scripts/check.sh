@@ -45,3 +45,9 @@ cmake -B "$build_dir" -S . \
   -DSPAR_WERROR=ON
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+# Ingestion smoke: the I/O bench must run clean (it exits nonzero if the
+# legacy/parallel/binary loads disagree). The text->MM->binary->text
+# byte-identity round trip already ran above as the ctest
+# `sparsify_tool_format_roundtrip` (examples/CMakeLists.txt).
+"$build_dir/bench/bench_io" --quick=1

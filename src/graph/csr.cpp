@@ -9,17 +9,45 @@ namespace spar::graph {
 
 namespace par = support::par;
 
+namespace {
+CsrBuildPath g_build_path = CsrBuildPath::kAuto;
+
+// Atomic-scatter crossover: the parallel build must touch at least this many
+// edges per effective thread before the relaxed fetch_adds pay for
+// themselves. Measured on the bench_io --csr=1 sweep (BENCH_pr3.json): below
+// this the serial counting sort wins at every thread count.
+constexpr std::size_t kMinEdgesPerThread = std::size_t{1} << 14;
+}  // namespace
+
+void set_csr_build_path(CsrBuildPath policy) noexcept { g_build_path = policy; }
+
+CsrBuildPath csr_build_path() noexcept { return g_build_path; }
+
+bool csr_parallel_build_enabled(std::size_t m) noexcept {
+  if (!par::openmp_enabled() || m <= 1) return false;
+  switch (g_build_path) {
+    case CsrBuildPath::kSerial: return false;
+    case CsrBuildPath::kParallel: return true;
+    case CsrBuildPath::kAuto: break;
+  }
+  // An OMP_NUM_THREADS above the core count is oversubscription, not
+  // parallelism: gate on the smaller of the budget and the hardware.
+  const int threads = std::min(par::max_threads(), par::hardware_threads());
+  return threads > 1 && m >= kMinEdgesPerThread * static_cast<std::size_t>(threads);
+}
+
 template <typename EdgeAt>
 void CSRGraph::rebuild_impl(Vertex n, std::size_t m, EdgeAt&& at) {
   offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
   cursor_.assign(n, 0);
 
   // Degree count, prefix sum, scatter. The parallel path uses relaxed
-  // atomic_ref increments on the reusable cursor buffer; the serial path (one
-  // thread, or small m) skips the atomics entirely. Either way the final
+  // atomic_ref increments on the reusable cursor buffer; the serial path
+  // skips the atomics entirely and wins whenever there is too little work per
+  // effective thread (csr_parallel_build_enabled). Either way the final
   // per-vertex sort below canonicalizes arc order, so the result is
   // bit-identical across paths and thread counts.
-  const bool concurrent = par::openmp_enabled() && par::max_threads() > 1 && m > 1;
+  const bool concurrent = csr_parallel_build_enabled(m);
   if (concurrent) {
     par::parallel_for(0, static_cast<std::int64_t>(m), [&](std::int64_t i) {
       const Edge e = at(static_cast<std::size_t>(i));

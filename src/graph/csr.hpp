@@ -18,6 +18,22 @@
 
 namespace spar::graph {
 
+/// Scatter-path policy for CSRGraph::rebuild. kAuto (the default) picks the
+/// atomic-scatter parallel build only when it can win: enough edges per
+/// effective thread (min of the OpenMP budget and the hardware's cores) to
+/// amortize the atomics. On a single core, or for small m, the serial path is
+/// ~2.5x faster than paying for atomics nobody parallelizes (BENCH_pr2 /
+/// BENCH_pr3 record the crossover). The forced modes exist for tests and the
+/// bench_io crossover sweep; both paths produce bit-identical structures.
+enum class CsrBuildPath { kAuto, kSerial, kParallel };
+
+void set_csr_build_path(CsrBuildPath policy) noexcept;
+CsrBuildPath csr_build_path() noexcept;
+
+/// True when rebuild() would take the atomic-scatter path for m edges under
+/// the current policy and thread budget.
+bool csr_parallel_build_enabled(std::size_t m) noexcept;
+
 struct Arc {
   Vertex to = 0;
   double w = 0.0;

@@ -1,7 +1,10 @@
 #include "graph/edge_view.hpp"
 
+#include <cmath>
+#include <string>
 #include <utility>
 
+#include "support/error.hpp"
 #include "support/parallel.hpp"
 
 namespace spar::graph {
@@ -20,6 +23,39 @@ void EdgeArena::assign(const Graph& g) {
     v_[static_cast<std::size_t>(i)] = edges[static_cast<std::size_t>(i)].v;
     w_[static_cast<std::size_t>(i)] = edges[static_cast<std::size_t>(i)].w;
   });
+}
+
+void EdgeArena::resize(Vertex n, std::size_t m) {
+  n_ = n;
+  size_ = m;
+  u_.resize(m);
+  v_.resize(m);
+  w_.resize(m);
+}
+
+void EdgeArena::validate() const {
+  const auto bad = [&](std::size_t i) {
+    return u_[i] >= n_ || v_[i] >= n_ || u_[i] == v_[i] ||
+           !(w_[i] > 0.0) || !std::isfinite(w_[i]);
+  };
+  const std::int64_t first_bad = par::parallel_reduce(
+      0, static_cast<std::int64_t>(size_), std::int64_t{-1},
+      [&](std::int64_t cb, std::int64_t ce) -> std::int64_t {
+        for (std::int64_t i = cb; i < ce; ++i)
+          if (bad(static_cast<std::size_t>(i))) return i;
+        return -1;
+      },
+      [](std::int64_t a, std::int64_t b) { return a >= 0 ? a : b; });
+  if (first_bad < 0) return;
+  const auto i = static_cast<std::size_t>(first_bad);
+  std::string what = "EdgeArena::validate: edge " + std::to_string(i);
+  if (u_[i] >= n_ || v_[i] >= n_)
+    what += ": endpoint out of range (n = " + std::to_string(n_) + ")";
+  else if (u_[i] == v_[i])
+    what += ": self-loop";
+  else
+    what += ": weight must be positive and finite";
+  throw spar::Error(what);
 }
 
 Graph EdgeArena::to_graph() const {

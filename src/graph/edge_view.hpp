@@ -55,6 +55,21 @@ class EdgeArena {
   /// Refill from a Graph, reusing existing capacity (boundary conversion in).
   void assign(const Graph& g);
 
+  /// I/O fill path: size the active slab to `m` edges over `n` vertices.
+  /// Array contents are unspecified until written through mutable_u() /
+  /// mutable_v() / weights(); call validate() once the slab is populated.
+  /// This is how the binary loader and the chunked text parser land edges
+  /// without a per-edge add_edge loop.
+  void resize(Vertex n, std::size_t m);
+
+  std::span<Vertex> mutable_u() { return {u_.data(), size_}; }
+  std::span<Vertex> mutable_v() { return {v_.data(), size_}; }
+
+  /// Check every edge of the active slab (endpoint < n, no self-loop, finite
+  /// weight > 0); throws spar::Error naming the first offending index. The
+  /// scan is a deterministic parallel reduction.
+  void validate() const;
+
   /// Active slab as a Graph (boundary conversion out). Edge order is the
   /// arena's index order, so round-trip through Graph preserves edge ids.
   Graph to_graph() const;

@@ -1,13 +1,128 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
+#include <istream>
 #include <limits>
+#include <ostream>
 #include <sstream>
+#include <tuple>
+#include <vector>
 
+#include "graph/io_binary.hpp"
 #include "support/assert.hpp"
+#include "support/parallel.hpp"
 
 namespace spar::graph {
+
+namespace par = support::par;
+
+namespace {
+
+// --- token scanning (std::from_chars; no locales, no streams) --------------
+
+bool is_hspace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+const char* skip_hspace(const char* p, const char* end) {
+  while (p < end && is_hspace(*p)) ++p;
+  return p;
+}
+
+std::string_view trimmed(std::string_view line) {
+  std::size_t b = 0, e = line.size();
+  while (b < e && is_hspace(line[b])) ++b;
+  while (e > b && is_hspace(line[e - 1])) --e;
+  return line.substr(b, e - b);
+}
+
+bool is_content_line(std::string_view line, char comment) {
+  const std::string_view t = trimmed(line);
+  return !t.empty() && t[0] != comment;
+}
+
+bool parse_u64(const char*& p, const char* end, std::uint64_t& out) {
+  p = skip_hspace(p, end);
+  const auto [next, ec] = std::from_chars(p, end, out);
+  if (ec != std::errc{} || next == p) return false;
+  p = next;
+  return true;
+}
+
+bool parse_f64(const char*& p, const char* end, double& out) {
+  p = skip_hspace(p, end);
+  const auto [next, ec] = std::from_chars(p, end, out);
+  if (ec != std::errc{} || next == p) return false;
+  p = next;
+  return true;
+}
+
+bool at_line_end(const char* p, const char* end) { return skip_hspace(p, end) == end; }
+
+// --- chunked line-parallel scanning ----------------------------------------
+
+/// First index s in [pos, len] that starts a line (s == 0 or body[s-1] is \n).
+std::size_t line_start_at_or_after(std::string_view body, std::size_t pos) {
+  if (pos == 0) return 0;
+  if (pos >= body.size()) return body.size();
+  if (body[pos - 1] == '\n') return pos;
+  const std::size_t nl = body.find('\n', pos);
+  return nl == std::string_view::npos ? body.size() : nl + 1;
+}
+
+/// Calls f(line) for every line whose first character lies in [from, to).
+/// [from, to) are raw byte bounds; a line straddling `to` still belongs to
+/// this range, a line straddling `from` belongs to the previous one. Byte
+/// bounds therefore induce an exact partition of the lines.
+template <typename F>
+void for_each_line_in(std::string_view body, std::size_t from, std::size_t to, F&& f) {
+  std::size_t s = line_start_at_or_after(body, from);
+  to = std::min(to, body.size());
+  while (s < to) {
+    std::size_t e = body.find('\n', s);
+    if (e == std::string_view::npos) e = body.size();
+    f(body.substr(s, e - s));
+    s = e + 1;
+  }
+}
+
+struct LineError {
+  std::size_t line = 0;  // 1-based; 0 = no error
+  std::string what;
+};
+
+[[noreturn]] void throw_at_line(const std::string& who, std::size_t line,
+                                const std::string& what) {
+  throw spar::Error(who + ": line " + std::to_string(line) + ": " + what);
+}
+
+std::string read_file_to_string(const std::string& path, const char* who) {
+  std::ifstream in(path, std::ios::binary);
+  SPAR_CHECK(in.good(), std::string(who) + ": cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const auto len = in.tellg();
+  SPAR_CHECK(len >= 0, std::string(who) + ": cannot stat " + path);
+  std::string buf(static_cast<std::size_t>(len), '\0');
+  in.seekg(0);
+  in.read(buf.data(), len);
+  // A short read (file truncated between the size query and the read) sets
+  // failbit, not badbit; without the gcount check the NUL-padded tail would
+  // surface as a bogus parse error at a phantom line.
+  SPAR_CHECK(!in.bad() && in.gcount() == len,
+             std::string(who) + ": read failed for " + path);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Edge lists
 
 void write_edge_list(std::ostream& out, const Graph& g) {
   out << std::setprecision(std::numeric_limits<double>::max_digits10);
@@ -15,81 +130,442 @@ void write_edge_list(std::ostream& out, const Graph& g) {
   for (const Edge& e : g.edges()) out << e.u << ' ' << e.v << ' ' << e.w << '\n';
 }
 
-Graph read_edge_list(std::istream& in) {
-  std::string line;
-  auto next_content_line = [&]() -> bool {
-    while (std::getline(in, line)) {
-      if (!line.empty() && line[0] != '#') return true;
+void parse_edge_list(std::string_view text, EdgeArena& arena) {
+  constexpr const char* kWho = "read_edge_list";
+
+  // Header: first content line, "#" comments and blank lines before it.
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  std::string_view header;
+  while (pos < text.size()) {
+    std::size_t e = text.find('\n', pos);
+    if (e == std::string_view::npos) e = text.size();
+    const std::string_view line = text.substr(pos, e - pos);
+    ++line_no;
+    pos = e + 1;
+    if (is_content_line(line, '#')) {
+      header = line;
+      break;
     }
-    return false;
-  };
-  SPAR_CHECK(next_content_line(), "read_edge_list: empty input");
-  std::istringstream header(line);
-  std::size_t n = 0, m = 0;
-  SPAR_CHECK(static_cast<bool>(header >> n >> m), "read_edge_list: bad header");
-  Graph g(static_cast<Vertex>(n));
-  g.reserve(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    SPAR_CHECK(next_content_line(), "read_edge_list: truncated edge list");
-    std::istringstream row(line);
-    Vertex u = 0, v = 0;
-    double w = 1.0;
-    SPAR_CHECK(static_cast<bool>(row >> u >> v), "read_edge_list: bad edge row");
-    row >> w;
-    g.add_edge(u, v, w);
   }
-  return g;
+  SPAR_CHECK(!header.empty(), std::string(kWho) + ": empty input");
+
+  std::uint64_t n = 0, m = 0;
+  {
+    const char* p = header.data();
+    const char* end = header.data() + header.size();
+    if (!parse_u64(p, end, n) || !parse_u64(p, end, m) || !at_line_end(p, end))
+      throw_at_line(kWho, line_no, "bad header (want \"<num_vertices> <num_edges>\")");
+    SPAR_CHECK(n <= std::numeric_limits<Vertex>::max(),
+               std::string(kWho) + ": vertex count exceeds 32-bit vertex ids");
+  }
+  const std::size_t body_first_line = line_no + 1;
+  const std::string_view body =
+      pos <= text.size() ? text.substr(std::min(pos, text.size())) : std::string_view{};
+
+  // Chunk boundaries are raw byte offsets snapped to line starts inside
+  // for_each_line_in -- a pure function of (body length, grain), never of the
+  // thread count, so entry ranks (= edge ids) are deterministic.
+  const auto len = static_cast<std::int64_t>(body.size());
+  const std::int64_t grain = std::max<std::int64_t>(par::default_grain(len), 1 << 14);
+  const auto chunks = static_cast<std::size_t>(len > 0 ? (len + grain - 1) / grain : 0);
+
+  // Pass 1: count lines and entries per chunk.
+  std::vector<std::size_t> chunk_lines(chunks, 0), chunk_entries(chunks, 0);
+  par::parallel_chunks(
+      0, static_cast<std::int64_t>(chunks),
+      [&](std::int64_t cb, std::int64_t ce, std::int64_t, int) {
+        for (std::int64_t c = cb; c < ce; ++c) {
+          std::size_t lines = 0, entries = 0;
+          for_each_line_in(body, static_cast<std::size_t>(c * grain),
+                           static_cast<std::size_t>((c + 1) * grain),
+                           [&](std::string_view line) {
+                             ++lines;
+                             if (is_content_line(line, '#')) ++entries;
+                           });
+          chunk_lines[static_cast<std::size_t>(c)] = lines;
+          chunk_entries[static_cast<std::size_t>(c)] = entries;
+        }
+      },
+      {.grain = 1});
+
+  // Exclusive prefix sums (chunk order, serial: determinism anchor).
+  std::vector<std::size_t> line_base(chunks, 0), entry_base(chunks, 0);
+  std::size_t total_entries = 0, total_lines = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    line_base[c] = total_lines;
+    entry_base[c] = total_entries;
+    total_lines += chunk_lines[c];
+    total_entries += chunk_entries[c];
+  }
+  if (total_entries != m)
+    throw spar::Error(std::string(kWho) + ": expected " + std::to_string(m) +
+                      " edges, found " + std::to_string(total_entries) +
+                      (total_entries < m ? " (truncated edge list)" : " (trailing data)"));
+
+  // Pass 2: parse every entry straight into the arena at its global rank.
+  arena.resize(static_cast<Vertex>(n), static_cast<std::size_t>(m));
+  auto out_u = arena.mutable_u();
+  auto out_v = arena.mutable_v();
+  auto out_w = arena.weights();
+  std::vector<LineError> chunk_error(chunks);
+  par::parallel_chunks(
+      0, static_cast<std::int64_t>(chunks),
+      [&](std::int64_t cb, std::int64_t ce, std::int64_t, int) {
+        for (std::int64_t c = cb; c < ce; ++c) {
+          const auto ci = static_cast<std::size_t>(c);
+          std::size_t line = body_first_line + line_base[ci];
+          std::size_t at = entry_base[ci];
+          LineError& err = chunk_error[ci];
+          for_each_line_in(
+              body, static_cast<std::size_t>(c * grain),
+              static_cast<std::size_t>((c + 1) * grain), [&](std::string_view lv) {
+                const std::size_t this_line = line++;
+                if (err.line || !is_content_line(lv, '#')) return;
+                const char* p = lv.data();
+                const char* end = lv.data() + lv.size();
+                std::uint64_t u = 0, v = 0;
+                double w = 1.0;
+                if (!parse_u64(p, end, u) || !parse_u64(p, end, v)) {
+                  err = {this_line, "bad edge row (want \"<u> <v> [w]\")"};
+                  return;
+                }
+                if (!at_line_end(p, end) && !parse_f64(p, end, w)) {
+                  err = {this_line, "malformed weight"};
+                  return;
+                }
+                if (!at_line_end(p, end)) {
+                  err = {this_line, "trailing characters after edge row"};
+                  return;
+                }
+                if (u >= n || v >= n) {
+                  err = {this_line, "endpoint out of range (n = " + std::to_string(n) + ")"};
+                  return;
+                }
+                if (u == v) {
+                  err = {this_line, "self-loop not allowed"};
+                  return;
+                }
+                if (!(w > 0.0) || !std::isfinite(w)) {
+                  err = {this_line, "weight must be positive and finite"};
+                  return;
+                }
+                out_u[at] = static_cast<Vertex>(u);
+                out_v[at] = static_cast<Vertex>(v);
+                out_w[at] = w;
+                ++at;
+              });
+        }
+      },
+      {.grain = 1});
+
+  const auto bad = std::min_element(
+      chunk_error.begin(), chunk_error.end(), [](const LineError& a, const LineError& b) {
+        if ((a.line == 0) != (b.line == 0)) return a.line != 0;
+        return a.line < b.line;
+      });
+  if (bad != chunk_error.end() && bad->line != 0)
+    throw_at_line(kWho, bad->line, bad->what);
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EdgeArena arena;
+  parse_edge_list(buf.view(), arena);
+  return arena.to_graph();
 }
 
 void save_edge_list(const std::string& path, const Graph& g) {
   std::ofstream out(path);
   SPAR_CHECK(out.good(), "save_edge_list: cannot open " + path);
   write_edge_list(out, g);
+  SPAR_CHECK(out.good(), "save_edge_list: write failed for " + path);
+}
+
+void load_edge_list(const std::string& path, EdgeArena& arena) {
+  const std::string text = read_file_to_string(path, "load_edge_list");
+  parse_edge_list(text, arena);
 }
 
 Graph load_edge_list(const std::string& path) {
-  std::ifstream in(path);
-  SPAR_CHECK(in.good(), "load_edge_list: cannot open " + path);
-  return read_edge_list(in);
+  EdgeArena arena;
+  load_edge_list(path, arena);
+  return arena.to_graph();
 }
+
+// ---------------------------------------------------------------------------
+// MatrixMarket
 
 void write_matrix_market(std::ostream& out, const Graph& g) {
   out << std::setprecision(std::numeric_limits<double>::max_digits10);
   out << "%%MatrixMarket matrix coordinate real symmetric\n";
   out << "% weighted adjacency matrix written by libspar\n";
-  out << g.num_vertices() << ' ' << g.num_vertices() << ' ' << g.num_edges() << '\n';
-  for (const Edge& e : g.edges()) {
+  const Graph c = g.coalesced();  // a matrix entry is unique; merge multi-edges
+  out << c.num_vertices() << ' ' << c.num_vertices() << ' ' << c.num_edges() << '\n';
+  for (const Edge& e : c.edges()) {
     const Vertex lo = std::min(e.u, e.v);
     const Vertex hi = std::max(e.u, e.v);
     out << (hi + 1) << ' ' << (lo + 1) << ' ' << e.w << '\n';  // lower triangle, 1-based
   }
 }
 
-Graph read_matrix_market(std::istream& in) {
+namespace {
+
+std::string lowercase(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+struct MmEntry {
+  Vertex lo = 0, hi = 0;
+  double w = 1.0;
+  std::size_t line = 0;  // 1-based source line, for error messages
+  bool upper = false;    // r < c in the file (orientation before canonicalizing)
+  bool drop = false;     // merged-away mirror of an earlier entry
+};
+
+}  // namespace
+
+Graph read_matrix_market(std::istream& in, MatrixMarketInfo* info) {
+  constexpr const char* kWho = "read_matrix_market";
   std::string line;
-  SPAR_CHECK(static_cast<bool>(std::getline(in, line)), "read_matrix_market: empty input");
-  SPAR_CHECK(line.rfind("%%MatrixMarket", 0) == 0, "read_matrix_market: missing banner");
-  SPAR_CHECK(line.find("coordinate") != std::string::npos,
-             "read_matrix_market: only coordinate format supported");
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+  std::size_t line_no = 0;
+  auto next_line = [&]() -> bool {
+    if (!std::getline(in, line)) return false;
+    ++line_no;
+    return true;
+  };
+
+  // Banner: %%MatrixMarket <object> <format> <field> <symmetry>
+  SPAR_CHECK(next_line(), std::string(kWho) + ": empty input");
+  SPAR_CHECK(line.rfind("%%MatrixMarket", 0) == 0, std::string(kWho) + ": missing banner");
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  object = lowercase(object);
+  format = lowercase(format);
+  field = lowercase(field);
+  symmetry = lowercase(symmetry);
+  SPAR_CHECK(object == "matrix", std::string(kWho) + ": unsupported object \"" + object + "\"");
+  SPAR_CHECK(format == "coordinate",
+             std::string(kWho) + ": only coordinate format supported");
+  SPAR_CHECK(field == "real" || field == "integer" || field == "pattern",
+             std::string(kWho) + ": unsupported field \"" + field +
+                 "\" (want real, integer or pattern)");
+  SPAR_CHECK(symmetry == "general" || symmetry == "symmetric",
+             std::string(kWho) + ": unsupported symmetry \"" + symmetry +
+                 "\" (want general or symmetric)");
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+
+  // Size line: first content line after the banner.
+  bool have_sizes = false;
+  while (next_line()) {
+    if (is_content_line(line, '%')) {
+      have_sizes = true;
+      break;
+    }
   }
-  std::istringstream header(line);
-  std::size_t rows = 0, cols = 0, nnz = 0;
-  SPAR_CHECK(static_cast<bool>(header >> rows >> cols >> nnz), "read_matrix_market: bad sizes");
-  SPAR_CHECK(rows == cols, "read_matrix_market: matrix must be square");
-  Graph g(static_cast<Vertex>(rows));
-  for (std::size_t i = 0; i < nnz; ++i) {
-    SPAR_CHECK(static_cast<bool>(std::getline(in, line)), "read_matrix_market: truncated");
-    std::istringstream row(line);
-    std::size_t r = 0, c = 0;
+  SPAR_CHECK(have_sizes, std::string(kWho) + ": missing size line");
+  std::uint64_t rows = 0, cols = 0, nnz = 0;
+  {
+    const char* p = line.data();
+    const char* end = line.data() + line.size();
+    if (!parse_u64(p, end, rows) || !parse_u64(p, end, cols) ||
+        !parse_u64(p, end, nnz) || !at_line_end(p, end))
+      throw_at_line(kWho, line_no, "bad size line (want \"<rows> <cols> <nnz>\")");
+  }
+  SPAR_CHECK(rows == cols, std::string(kWho) + ": matrix must be square");
+  SPAR_CHECK(rows <= std::numeric_limits<Vertex>::max(),
+             std::string(kWho) + ": dimension exceeds 32-bit vertex ids");
+
+  MatrixMarketInfo stats;
+  stats.field = field;
+  stats.symmetry = symmetry;
+
+  // Entry body: blank lines and %-comments are permitted between entries.
+  std::vector<MmEntry> entries;
+  // nnz is untrusted; cap the pre-reserve so a hostile size line cannot turn
+  // into std::length_error before the (line-numbered) body errors can fire.
+  entries.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(nnz, 1 << 20)));
+  while (stats.entries < nnz) {
+    if (!next_line())
+      throw spar::Error(std::string(kWho) + ": truncated: expected " +
+                        std::to_string(nnz) + " entries, found " +
+                        std::to_string(stats.entries));
+    if (!is_content_line(line, '%')) continue;
+    const char* p = line.data();
+    const char* end = line.data() + line.size();
+    std::uint64_t r = 0, c = 0;
+    if (!parse_u64(p, end, r) || !parse_u64(p, end, c))
+      throw_at_line(kWho, line_no, "bad entry (want \"<row> <col>" +
+                                       std::string(pattern ? "" : " <value>") + "\")");
+    if (r < 1 || r > rows || c < 1 || c > rows)
+      throw_at_line(kWho, line_no,
+                    "index out of range: (" + std::to_string(r) + ", " +
+                        std::to_string(c) + ") not in [1, " + std::to_string(rows) +
+                        "]^2 (MatrixMarket indices are 1-based)");
     double w = 1.0;
-    SPAR_CHECK(static_cast<bool>(row >> r >> c), "read_matrix_market: bad entry");
-    row >> w;
-    if (r == c) continue;  // diagonal carries no edge
-    g.add_edge(static_cast<Vertex>(r - 1), static_cast<Vertex>(c - 1), std::abs(w));
+    if (!pattern) {
+      // A real/integer file must carry a value; defaulting a missing one to
+      // 1.0 silently mislabels malformed files, so it is an error here.
+      if (!parse_f64(p, end, w))
+        throw_at_line(kWho, line_no, "missing or malformed value (field \"" + field +
+                                         "\"; only pattern files omit values)");
+      if (!std::isfinite(w)) throw_at_line(kWho, line_no, "value must be finite");
+    }
+    if (!at_line_end(p, end))
+      throw_at_line(kWho, line_no, "trailing characters after entry");
+    ++stats.entries;
+    if (symmetric && r < c)
+      throw_at_line(kWho, line_no,
+                    "upper-triangle entry in a symmetric file (want row >= col)");
+    if (r == c) {
+      ++stats.diagonal_dropped;  // diagonal carries no edge
+      continue;
+    }
+    if (w == 0.0) {
+      ++stats.zero_dropped;  // an explicit zero is a non-edge
+      continue;
+    }
+    if (w < 0.0) {
+      // Laplacian off-diagonal convention: the entry -w encodes an edge of
+      // weight w. Recorded (and logged below) instead of silently flipped.
+      w = -w;
+      ++stats.negative_flipped;
+    }
+    MmEntry e;
+    e.lo = static_cast<Vertex>(std::min(r, c) - 1);
+    e.hi = static_cast<Vertex>(std::max(r, c) - 1);
+    e.w = w;
+    e.line = line_no;
+    e.upper = r < c;
+    entries.push_back(e);
   }
-  return g.coalesced();
+  while (next_line()) {
+    if (is_content_line(line, '%'))
+      throw_at_line(kWho, line_no, "trailing data after the declared " +
+                                       std::to_string(nnz) + " entries");
+  }
+
+  // Symmetry semantics. In a `general` file both (i,j) and (j,i) may appear:
+  // a mirrored pair with equal values is one edge (the old reader's blanket
+  // coalesce() summed them, doubling every weight). Same-orientation
+  // duplicates, mismatched mirrors, and any duplicate in a `symmetric` file
+  // are rejected -- a coordinate matrix lists each entry once.
+  std::vector<std::size_t> order(entries.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::tie(entries[a].lo, entries[a].hi, entries[a].line) <
+           std::tie(entries[b].lo, entries[b].hi, entries[b].line);
+  });
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    MmEntry& a = entries[order[i]];
+    MmEntry& b = entries[order[i + 1]];
+    if (a.lo != b.lo || a.hi != b.hi) continue;
+    if (a.drop || symmetric || a.upper == b.upper)
+      throw_at_line(kWho, b.line,
+                    "duplicate entry for (" + std::to_string(b.hi + 1) + ", " +
+                        std::to_string(b.lo + 1) + "), first at line " +
+                        std::to_string(a.line));
+    if (a.w != b.w)
+      throw_at_line(kWho, b.line,
+                    "mirrored entries disagree: (" + std::to_string(a.hi + 1) + ", " +
+                        std::to_string(a.lo + 1) + ") has value " + std::to_string(a.w) +
+                        " at line " + std::to_string(a.line) + " but " +
+                        std::to_string(b.w) + " here");
+    b.drop = true;
+    ++stats.mirrored_merged;
+  }
+
+  Graph g(static_cast<Vertex>(rows));
+  g.reserve(entries.size() - stats.mirrored_merged);
+  for (const MmEntry& e : entries)
+    if (!e.drop) g.add_edge(e.lo, e.hi, e.w);
+
+  if (stats.negative_flipped > 0 && info == nullptr)
+    std::fprintf(stderr,
+                 "%s: warning: %zu negative value(s) stored as |w| "
+                 "(Laplacian off-diagonal convention)\n",
+                 kWho, stats.negative_flipped);
+  if (info) *info = stats;
+  return g;
+}
+
+void save_matrix_market(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  SPAR_CHECK(out.good(), "save_matrix_market: cannot open " + path);
+  write_matrix_market(out, g);
+  SPAR_CHECK(out.good(), "save_matrix_market: write failed for " + path);
+}
+
+Graph load_matrix_market(const std::string& path, MatrixMarketInfo* info) {
+  std::ifstream in(path);
+  SPAR_CHECK(in.good(), "load_matrix_market: cannot open " + path);
+  return read_matrix_market(in, info);
+}
+
+// ---------------------------------------------------------------------------
+// Format dispatch
+
+GraphFormat format_from_extension(const std::string& path) {
+  const auto dot = path.find_last_of('.');
+  const auto slash = path.find_last_of('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return GraphFormat::kEdgeList;
+  const std::string ext = lowercase(std::string_view(path).substr(dot + 1));
+  if (ext == "mtx" || ext == "mm") return GraphFormat::kMatrixMarket;
+  if (ext == "spb" || ext == "bin") return GraphFormat::kBinary;
+  return GraphFormat::kEdgeList;
+}
+
+GraphFormat detect_format(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SPAR_CHECK(in.good(), "detect_format: cannot open " + path);
+  char buf[14] = {};
+  in.read(buf, sizeof(buf));
+  const auto got = static_cast<std::size_t>(in.gcount());
+  if (got >= sizeof(kBinaryMagic) &&
+      std::char_traits<char>::compare(buf, kBinaryMagic, sizeof(kBinaryMagic)) == 0)
+    return GraphFormat::kBinary;
+  if (std::string_view(buf, got).rfind("%%MatrixMarket", 0) == 0)
+    return GraphFormat::kMatrixMarket;
+  return format_from_extension(path);
+}
+
+const char* format_name(GraphFormat f) {
+  switch (f) {
+    case GraphFormat::kEdgeList: return "edge-list";
+    case GraphFormat::kMatrixMarket: return "matrix-market";
+    case GraphFormat::kBinary: return "binary";
+  }
+  return "?";
+}
+
+Graph load_graph(const std::string& path, GraphFormat f) {
+  switch (f) {
+    case GraphFormat::kEdgeList: return load_edge_list(path);
+    case GraphFormat::kMatrixMarket: return load_matrix_market(path);
+    case GraphFormat::kBinary: return load_binary(path);
+  }
+  throw spar::Error("load_graph: unknown format");
+}
+
+Graph load_graph(const std::string& path) { return load_graph(path, detect_format(path)); }
+
+void save_graph(const std::string& path, const Graph& g, GraphFormat f) {
+  switch (f) {
+    case GraphFormat::kEdgeList: return save_edge_list(path, g);
+    case GraphFormat::kMatrixMarket: return save_matrix_market(path, g);
+    case GraphFormat::kBinary: return save_binary(path, g);
+  }
+  throw spar::Error("save_graph: unknown format");
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  save_graph(path, g, format_from_extension(path));
 }
 
 }  // namespace spar::graph

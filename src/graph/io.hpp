@@ -1,29 +1,96 @@
-// Graph serialization: a simple whitespace edge-list format and MatrixMarket
-// coordinate format for interoperability with standard sparse tooling.
+// Graph serialization: whitespace edge lists, MatrixMarket coordinate files,
+// and the SPARBIN binary format (io_binary.hpp), plus format autodetection.
 //
 // Edge-list format:
-//   # optional comments
+//   # optional comments (also allowed between body lines)
 //   <num_vertices> <num_edges>
-//   <u> <v> <w>    (0-based, one per line)
+//   <u> <v> [w]    (0-based, one per line; w defaults to 1.0)
+//
+// Text parsing is chunk-parallel: the file is split at line boundaries into
+// thread-count-independent chunks, each parsed with std::from_chars, and the
+// entries land at prefix-summed offsets directly in an EdgeArena -- the same
+// SoA layout the sparsification round pipeline consumes, with the same edge
+// order a serial line-at-a-time reader would produce. Errors carry 1-based
+// line numbers.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
+#include "graph/edge_view.hpp"
 #include "graph/graph.hpp"
 
 namespace spar::graph {
 
+// ---------------------------------------------------------------------------
+// Edge lists
+
 void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Chunk-parallel parse of a complete edge-list document. Deterministic: the
+/// resulting arena is identical for every thread count.
+void parse_edge_list(std::string_view text, EdgeArena& arena);
+
 Graph read_edge_list(std::istream& in);
 
 void save_edge_list(const std::string& path, const Graph& g);
 Graph load_edge_list(const std::string& path);
+void load_edge_list(const std::string& path, EdgeArena& arena);
 
-/// MatrixMarket "coordinate real symmetric": writes the weighted adjacency
-/// matrix (lower triangle). Reading accepts general/symmetric coordinate
-/// files and symmetrizes; diagonal entries are ignored.
+// ---------------------------------------------------------------------------
+// MatrixMarket coordinate format
+
+/// What read_matrix_market saw and normalized; pass a struct to collect it.
+struct MatrixMarketInfo {
+  std::string field;              ///< "real", "integer" or "pattern"
+  std::string symmetry;           ///< "general" or "symmetric"
+  std::size_t entries = 0;        ///< body entries read
+  std::size_t diagonal_dropped = 0;   ///< diagonal entries (no edge) skipped
+  std::size_t zero_dropped = 0;       ///< explicit zero entries skipped
+  std::size_t negative_flipped = 0;   ///< weights stored as |w|
+  std::size_t mirrored_merged = 0;    ///< (i,j)/(j,i) pairs merged (general)
+};
+
+/// Writes "coordinate real symmetric" (lower triangle, 1-based). Parallel
+/// edges are coalesced first: a matrix entry is unique, so the multigraph
+/// collapses to its Laplacian-equivalent simple graph on disk.
 void write_matrix_market(std::ostream& out, const Graph& g);
-Graph read_matrix_market(std::istream& in);
+
+/// Reads coordinate real/integer/pattern x general/symmetric. Banner symmetry
+/// is honored: a `general` file may list both (i,j) and (j,i) -- mirrored
+/// pairs with equal weight merge into one edge, anything else (duplicate
+/// entries, mismatched mirrors, upper-triangle entries in a `symmetric` file)
+/// is rejected. Blank and %-comment lines are allowed in the body. Entries
+/// must satisfy 1 <= r,c <= n; diagonal and explicit-zero entries carry no
+/// edge and are skipped. `pattern` files take weight 1.0 by design; for
+/// real/integer files a missing or malformed weight is an error. Negative
+/// weights are stored as |w| (Laplacian off-diagonal convention) -- the flip
+/// count is recorded in `info` and logged to stderr when info is null.
+Graph read_matrix_market(std::istream& in, MatrixMarketInfo* info = nullptr);
+
+void save_matrix_market(const std::string& path, const Graph& g);
+Graph load_matrix_market(const std::string& path, MatrixMarketInfo* info = nullptr);
+
+// ---------------------------------------------------------------------------
+// Format dispatch
+
+enum class GraphFormat { kEdgeList, kMatrixMarket, kBinary };
+
+/// Case-insensitive extension mapping: .mtx/.mm -> MatrixMarket, .spb/.bin ->
+/// binary, everything else edge list.
+GraphFormat format_from_extension(const std::string& path);
+
+/// Sniffs the file content (SPARBIN magic, %%MatrixMarket banner), falling
+/// back to the extension for plain text.
+GraphFormat detect_format(const std::string& path);
+
+const char* format_name(GraphFormat f);
+
+Graph load_graph(const std::string& path);                   ///< detect_format
+Graph load_graph(const std::string& path, GraphFormat f);
+void save_graph(const std::string& path, const Graph& g);    ///< by extension
+void save_graph(const std::string& path, const Graph& g, GraphFormat f);
 
 }  // namespace spar::graph

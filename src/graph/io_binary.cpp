@@ -1,0 +1,181 @@
+#include "graph/io_binary.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "support/assert.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace spar::graph {
+
+namespace par = support::par;
+
+namespace {
+
+struct Header {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t flags;
+  std::uint64_t n;
+  std::uint64_t m;
+  std::uint64_t checksum;
+};
+static_assert(sizeof(Header) == 40, "binary header layout is part of the format");
+
+// Largest m the reader will attempt to allocate (16 bytes/edge => 16 TiB);
+// anything bigger is a corrupt or hostile header, not a graph.
+constexpr std::uint64_t kMaxEdges = std::uint64_t{1} << 40;
+
+std::uint64_t fnv1a(const unsigned char* p, std::size_t len, std::uint64_t h) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+/// Chunked FNV-1a folded in chunk order. Chunk boundaries come from
+/// default_grain (a pure function of the length), so the value is identical
+/// for every thread count and for the serial build.
+std::uint64_t checksum_bytes(const void* data, std::size_t len, std::uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  return par::parallel_reduce(
+      0, static_cast<std::int64_t>(len), support::mix64(seed, len),
+      [&](std::int64_t cb, std::int64_t ce) {
+        return fnv1a(bytes + cb, static_cast<std::size_t>(ce - cb), kOffsetBasis);
+      },
+      [](std::uint64_t acc, std::uint64_t part) { return support::mix64(acc, part); });
+}
+
+std::uint64_t payload_checksum(const EdgeView& view) {
+  std::uint64_t h = support::mix64(view.num_vertices, view.size);
+  h = checksum_bytes(view.u, view.size * sizeof(Vertex), h);
+  h = checksum_bytes(view.v, view.size * sizeof(Vertex), h);
+  h = checksum_bytes(view.w, view.size * sizeof(double), h);
+  return h;
+}
+
+void write_raw(std::ostream& out, const void* data, std::size_t len) {
+  if (len == 0) return;
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+  SPAR_CHECK(out.good(), "write_binary: stream write failed");
+}
+
+void read_raw(std::istream& in, void* data, std::size_t len, const char* what) {
+  if (len == 0) return;
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+  SPAR_CHECK(in.gcount() == static_cast<std::streamsize>(len) && !in.bad(),
+             std::string("read_binary: truncated ") + what);
+}
+
+}  // namespace
+
+std::size_t binary_file_size(std::size_t m) {
+  return sizeof(Header) + m * (2 * sizeof(Vertex) + sizeof(double));
+}
+
+void write_binary(std::ostream& out, const EdgeView& view) {
+  Header h = {};
+  std::memcpy(h.magic, kBinaryMagic, sizeof(h.magic));
+  h.version = kBinaryVersion;
+  h.flags = 0;
+  h.n = view.num_vertices;
+  h.m = view.size;
+  h.checksum = payload_checksum(view);
+  write_raw(out, &h, sizeof(h));
+  write_raw(out, view.u, view.size * sizeof(Vertex));
+  write_raw(out, view.v, view.size * sizeof(Vertex));
+  write_raw(out, view.w, view.size * sizeof(double));
+}
+
+void write_binary(std::ostream& out, const Graph& g) {
+  EdgeArena arena(g);
+  write_binary(out, arena.view());
+}
+
+void read_binary(std::istream& in, EdgeArena& arena) {
+  Header h = {};
+  read_raw(in, &h, sizeof(h), "header");
+  SPAR_CHECK(std::memcmp(h.magic, kBinaryMagic, sizeof(h.magic)) == 0,
+             "read_binary: bad magic (not a SPARBIN file)");
+  SPAR_CHECK(h.version == kBinaryVersion,
+             "read_binary: unsupported version " + std::to_string(h.version) +
+                 " (reader supports " + std::to_string(kBinaryVersion) + ")");
+  SPAR_CHECK(h.flags == 0, "read_binary: nonzero reserved flags");
+  SPAR_CHECK(h.n <= std::numeric_limits<Vertex>::max(),
+             "read_binary: vertex count exceeds 32-bit vertex ids");
+  SPAR_CHECK(h.m <= kMaxEdges, "read_binary: implausible edge count (corrupt header)");
+
+  // Before allocating 16 bytes per claimed edge, check the claim against the
+  // stream length where the stream is seekable (files and stringstreams are):
+  // a corrupt header must fail with a message, not an allocation the size of
+  // the address space.
+  const std::uint64_t payload_bytes = h.m * (2 * sizeof(Vertex) + sizeof(double));
+  const auto pos = in.tellg();
+  if (pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const auto stream_end = in.tellg();
+    in.seekg(pos);
+    if (stream_end != std::istream::pos_type(-1))
+      SPAR_CHECK(static_cast<std::uint64_t>(stream_end - pos) == payload_bytes,
+                 "read_binary: stream length does not match the header's edge count");
+  }
+
+  arena.resize(static_cast<Vertex>(h.n), static_cast<std::size_t>(h.m));
+  read_raw(in, arena.mutable_u().data(), arena.size() * sizeof(Vertex), "u[] payload");
+  read_raw(in, arena.mutable_v().data(), arena.size() * sizeof(Vertex), "v[] payload");
+  read_raw(in, arena.weights().data(), arena.size() * sizeof(double), "w[] payload");
+  SPAR_CHECK(in.peek() == std::istream::traits_type::eof(),
+             "read_binary: trailing bytes after payload");
+  SPAR_CHECK(payload_checksum(arena.view()) == h.checksum,
+             "read_binary: checksum mismatch (corrupt payload)");
+  arena.validate();
+}
+
+Graph read_binary(std::istream& in) {
+  EdgeArena arena;
+  read_binary(in, arena);
+  return arena.to_graph();
+}
+
+void save_binary(const std::string& path, const EdgeView& view) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  SPAR_CHECK(out.good(), "save_binary: cannot open " + path);
+  write_binary(out, view);
+}
+
+void save_binary(const std::string& path, const Graph& g) {
+  EdgeArena arena(g);
+  save_binary(path, arena.view());
+}
+
+void load_binary(const std::string& path, EdgeArena& arena) {
+  std::ifstream in(path, std::ios::binary);
+  SPAR_CHECK(in.good(), "load_binary: cannot open " + path);
+  read_binary(in, arena);
+}
+
+Graph load_binary(const std::string& path) {
+  EdgeArena arena;
+  load_binary(path, arena);
+  return arena.to_graph();
+}
+
+bool has_binary_magic(std::istream& in) {
+  char buf[sizeof(kBinaryMagic)] = {};
+  const auto pos = in.tellg();
+  in.read(buf, sizeof(buf));
+  const bool ok =
+      in.gcount() == sizeof(buf) && std::memcmp(buf, kBinaryMagic, sizeof(buf)) == 0;
+  in.clear();
+  in.seekg(pos);
+  return ok;
+}
+
+}  // namespace spar::graph

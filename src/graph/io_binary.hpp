@@ -1,0 +1,56 @@
+// Versioned binary graph format ("SPB"): the on-disk mirror of EdgeArena.
+//
+// Layout (all integers little-endian, weights IEEE-754 binary64):
+//
+//   offset  size  field
+//   0       8     magic  "SPARBIN\0"
+//   8       4     version (currently 1)
+//   12      4     flags   (reserved, must be 0)
+//   16      8     n       number of vertices
+//   24      8     m       number of edges
+//   32      8     checksum over the payload (chunked FNV-1a, see io_binary.cpp)
+//   40      4*m   u[]     edge sources   (uint32)
+//   ..      4*m   v[]     edge targets   (uint32)
+//   ..      8*m   w[]     edge weights   (double)
+//
+// The payload is exactly EdgeArena's SoA arrays, so loading is three
+// contiguous reads straight into the arena -- no per-edge add_edge loop, no
+// parsing. Edge order is preserved bit-for-bit, which matters: edge ids are
+// positional throughout the round pipeline (DESIGN.md §3).
+//
+// Readers validate magic/version/flags, the checksum, that the payload length
+// matches the header, and every edge (endpoint range, self-loops, weight
+// positivity/finiteness), throwing spar::Error on any mismatch.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_view.hpp"
+#include "graph/graph.hpp"
+
+namespace spar::graph {
+
+inline constexpr char kBinaryMagic[8] = {'S', 'P', 'A', 'R', 'B', 'I', 'N', '\0'};
+inline constexpr std::uint32_t kBinaryVersion = 1;
+
+/// Bytes a graph with m edges occupies on disk (header + payload).
+std::size_t binary_file_size(std::size_t m);
+
+void write_binary(std::ostream& out, const EdgeView& view);
+void write_binary(std::ostream& out, const Graph& g);
+
+/// Reads the full format into an existing arena (buffers reused).
+void read_binary(std::istream& in, EdgeArena& arena);
+Graph read_binary(std::istream& in);
+
+void save_binary(const std::string& path, const Graph& g);
+void save_binary(const std::string& path, const EdgeView& view);
+void load_binary(const std::string& path, EdgeArena& arena);
+Graph load_binary(const std::string& path);
+
+/// True when the stream starts with the SPB magic; consumes nothing.
+bool has_binary_magic(std::istream& in);
+
+}  // namespace spar::graph

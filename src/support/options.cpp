@@ -1,9 +1,5 @@
 #include "support/options.hpp"
 
-#include <cstdlib>
-
-#include "support/error.hpp"
-
 namespace spar::support {
 
 Options::Options(int argc, char** argv) {
@@ -35,13 +31,13 @@ std::string Options::get(const std::string& key, const std::string& fallback) co
 std::int64_t Options::get_int(const std::string& key, std::int64_t fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  return parse_number<std::int64_t>("--" + key, it->second);
 }
 
 double Options::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  return parse_number<double>("--" + key, it->second);
 }
 
 bool Options::get_bool(const std::string& key, bool fallback) const {

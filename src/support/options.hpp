@@ -2,12 +2,30 @@
 // Supports --key=value and --key value and boolean --flag forms.
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "support/error.hpp"
+
 namespace spar::support {
+
+/// Strict full-token numeric parse. std::strtoll/strtod silently return 0 on
+/// garbage ("--rho=abc" used to run with rho = 0); a malformed value is a
+/// user error and must say so. `what` names the offending option ("--rho")
+/// in the message. Shared by Options and the example/bench drivers.
+template <typename T>
+T parse_number(const std::string& what, const std::string& token) {
+  T out{};
+  const char* begin = token.c_str();
+  const char* end = begin + token.size();
+  const auto [next, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || next != end)
+    throw Error("bad numeric value for " + what + ": \"" + token + "\"");
+  return out;
+}
 
 class Options {
  public:

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.hpp"
+#include "support/parallel.hpp"
 
 namespace spar::graph {
 namespace {
@@ -90,6 +91,65 @@ TEST(CSRGraph, EveryArcHasReverseTwin) {
       EXPECT_TRUE(found) << "arc " << v << "->" << arc.to << " has no twin";
     }
   }
+}
+
+// --- build-path policy (PR 3: atomic scatter gated on work per thread) -----
+
+namespace {
+struct BuildPathGuard {
+  CsrBuildPath saved = csr_build_path();
+  ~BuildPathGuard() { set_csr_build_path(saved); }
+};
+
+bool same_structure(const CSRGraph& a, const CSRGraph& b) {
+  if (a.num_vertices() != b.num_vertices() || a.num_arcs() != b.num_arcs())
+    return false;
+  for (Vertex v = 0; v < a.num_vertices(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    if (na.size() != nb.size()) return false;
+    for (std::size_t i = 0; i < na.size(); ++i)
+      if (na[i].to != nb[i].to || na[i].id != nb[i].id || na[i].w != nb[i].w)
+        return false;
+  }
+  return true;
+}
+}  // namespace
+
+TEST(CSRBuildPath, ForcedPathsProduceIdenticalStructure) {
+  BuildPathGuard guard;
+  const Graph g = randomize_weights(connected_erdos_renyi(300, 0.05, 21), 1.5, 4);
+  support::par::ThreadLimit limit(4);
+  set_csr_build_path(CsrBuildPath::kSerial);
+  const CSRGraph serial(g);
+  set_csr_build_path(CsrBuildPath::kParallel);
+  const CSRGraph atomic(g);
+  set_csr_build_path(CsrBuildPath::kAuto);
+  const CSRGraph auto_built(g);
+  EXPECT_TRUE(same_structure(serial, atomic));
+  EXPECT_TRUE(same_structure(serial, auto_built));
+}
+
+TEST(CSRBuildPath, AutoGatesOnWorkPerEffectiveThread) {
+  BuildPathGuard guard;
+  set_csr_build_path(CsrBuildPath::kAuto);
+  // Small builds must take the serial path at any thread budget: the atomic
+  // scatter was measured ~2.5x slower there (BENCH_pr2 -> BENCH_pr3).
+  support::par::ThreadLimit limit(4);
+  EXPECT_FALSE(csr_parallel_build_enabled(1000));
+  // Oversubscription (budget above the core count) must not enable it either.
+  if (support::par::hardware_threads() == 1) {
+    EXPECT_FALSE(csr_parallel_build_enabled(std::size_t{1} << 22));
+  }
+}
+
+TEST(CSRBuildPath, ForcedModesOverrideTheGate) {
+  BuildPathGuard guard;
+  set_csr_build_path(CsrBuildPath::kSerial);
+  EXPECT_FALSE(csr_parallel_build_enabled(std::size_t{1} << 22));
+  set_csr_build_path(CsrBuildPath::kParallel);
+  EXPECT_EQ(csr_parallel_build_enabled(std::size_t{1} << 22),
+            support::par::openmp_enabled());
 }
 
 }  // namespace

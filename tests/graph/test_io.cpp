@@ -3,14 +3,31 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "graph/generators.hpp"
+#include "graph/io_binary.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace spar::graph {
 namespace {
+
+/// EXPECT_THROW plus a substring check on the message (line numbers etc.).
+template <typename F>
+void expect_error_containing(F&& f, const std::string& needle) {
+  try {
+    f();
+    FAIL() << "expected spar::Error containing \"" << needle << "\"";
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find(needle), std::string::npos)
+        << "message was: " << err.what();
+  }
+}
+
+// --- edge lists ------------------------------------------------------------
 
 TEST(EdgeListIO, RoundTripPreservesGraph) {
   const Graph g = randomize_weights(connected_erdos_renyi(40, 0.15, 3), 1.0, 5);
@@ -21,12 +38,39 @@ TEST(EdgeListIO, RoundTripPreservesGraph) {
   EXPECT_TRUE(back.same_edges(g));
 }
 
+TEST(EdgeListIO, RoundTripIsBitExactAndOrderPreserving) {
+  // max_digits10 output + from_chars input must reproduce every double bit
+  // for bit, and the chunked parser must keep file order (ids are positional).
+  Graph g(6);
+  g.add_edge(0, 1, 0.1);
+  g.add_edge(1, 2, 1.0 / 3.0);
+  g.add_edge(2, 3, 1e-300);
+  g.add_edge(3, 4, 1e300);
+  g.add_edge(4, 5, std::nextafter(2.0, 3.0));
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    EXPECT_EQ(back.edge(i).u, g.edge(i).u);
+    EXPECT_EQ(back.edge(i).v, g.edge(i).v);
+    EXPECT_EQ(back.edge(i).w, g.edge(i).w);  // exact, not DOUBLE_EQ
+  }
+}
+
 TEST(EdgeListIO, SkipsComments) {
   std::stringstream in("# a comment\n3 1\n# another\n0 2 1.5\n");
   const Graph g = read_edge_list(in);
   EXPECT_EQ(g.num_vertices(), 3u);
   ASSERT_EQ(g.num_edges(), 1u);
   EXPECT_DOUBLE_EQ(g.edge(0).w, 1.5);
+}
+
+TEST(EdgeListIO, AcceptsBlankLinesAndCrlf) {
+  std::stringstream in("2 1\r\n\r\n  \r\n0 1 2.0\r\n");
+  const Graph g = read_edge_list(in);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 2.0);
 }
 
 TEST(EdgeListIO, DefaultWeightIsOne) {
@@ -42,13 +86,71 @@ TEST(EdgeListIO, RejectsEmptyInput) {
 
 TEST(EdgeListIO, RejectsTruncatedEdgeList) {
   std::stringstream in("3 2\n0 1 1.0\n");
+  expect_error_containing([&] { read_edge_list(in); }, "expected 2 edges, found 1");
+}
+
+TEST(EdgeListIO, RejectsTrailingData) {
+  std::stringstream in("3 1\n0 1 1.0\n1 2 1.0\n");
+  expect_error_containing([&] { read_edge_list(in); }, "trailing data");
+}
+
+TEST(EdgeListIO, RejectsBadEdgeEndpointWithLineNumber) {
+  std::stringstream in("2 2\n0 1 1.0\n0 5 1.0\n");
+  expect_error_containing([&] { read_edge_list(in); }, "line 3: endpoint out of range");
+}
+
+TEST(EdgeListIO, RejectsSelfLoopWithLineNumber) {
+  std::stringstream in("# hi\n3 1\n2 2 1.0\n");
+  expect_error_containing([&] { read_edge_list(in); }, "line 3: self-loop");
+}
+
+TEST(EdgeListIO, RejectsMalformedWeight) {
+  std::stringstream in("2 1\n0 1 heavy\n");
+  expect_error_containing([&] { read_edge_list(in); }, "line 2");
+}
+
+TEST(EdgeListIO, RejectsNonPositiveOrNonFiniteWeight) {
+  std::stringstream in1("2 1\n0 1 0\n");
+  EXPECT_THROW(read_edge_list(in1), Error);
+  std::stringstream in2("2 1\n0 1 -3\n");
+  EXPECT_THROW(read_edge_list(in2), Error);
+  std::stringstream in3("2 1\n0 1 inf\n");
+  EXPECT_THROW(read_edge_list(in3), Error);
+}
+
+TEST(EdgeListIO, RejectsTrailingTokens) {
+  std::stringstream in("2 1\n0 1 1.0 extra\n");
+  expect_error_containing([&] { read_edge_list(in); }, "trailing characters");
+}
+
+TEST(EdgeListIO, RejectsBadHeader) {
+  std::stringstream in("nope nope\n");
   EXPECT_THROW(read_edge_list(in), Error);
 }
 
-TEST(EdgeListIO, RejectsBadEdgeEndpoint) {
-  std::stringstream in("2 1\n0 5 1.0\n");
-  EXPECT_THROW(read_edge_list(in), Error);
+TEST(EdgeListIO, ParallelParseIsThreadCountInvariant) {
+  const Graph g = randomize_weights(connected_erdos_renyi(500, 0.05, 7), 2.0, 9);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const std::string text = buffer.str();
+  EdgeArena one, four;
+  {
+    support::par::ThreadLimit limit(1);
+    parse_edge_list(text, one);
+  }
+  {
+    support::par::ThreadLimit limit(4);
+    parse_edge_list(text, four);
+  }
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one.u(i), four.u(i));
+    EXPECT_EQ(one.v(i), four.v(i));
+    EXPECT_EQ(one.weight(i), four.weight(i));
+  }
 }
+
+// --- MatrixMarket ----------------------------------------------------------
 
 TEST(MatrixMarketIO, RoundTrip) {
   const Graph g = randomize_weights(grid2d(4, 5), 1.0, 11);
@@ -67,15 +169,195 @@ TEST(MatrixMarketIO, BannerRequired) {
 TEST(MatrixMarketIO, DiagonalEntriesIgnored) {
   std::stringstream in(
       "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 5.0\n2 1 1.5\n");
-  const Graph g = read_matrix_market(in);
+  MatrixMarketInfo info;
+  const Graph g = read_matrix_market(in, &info);
   ASSERT_EQ(g.num_edges(), 1u);
   EXPECT_DOUBLE_EQ(g.edge(0).w, 1.5);
+  EXPECT_EQ(info.diagonal_dropped, 1u);
 }
 
 TEST(MatrixMarketIO, RejectsRectangular) {
   std::stringstream in("%%MatrixMarket matrix coordinate real general\n3 4 0\n");
   EXPECT_THROW(read_matrix_market(in), Error);
 }
+
+// Headline regression: a `general` file lists both (i,j) and (j,i). The old
+// reader ignored the symmetry field and ran coalesced(), silently doubling
+// every edge weight (1.5 became 3.0 here).
+TEST(MatrixMarketIO, GeneralFileWithBothDirectionsIsNotDoubled) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 4\n1 2 1.5\n2 1 1.5\n2 3 0.25\n3 2 0.25\n");
+  MatrixMarketInfo info;
+  const Graph g = read_matrix_market(in, &info);
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 1.5);
+  EXPECT_DOUBLE_EQ(g.edge(1).w, 0.25);
+  EXPECT_EQ(info.mirrored_merged, 2u);
+  EXPECT_EQ(info.symmetry, "general");
+}
+
+TEST(MatrixMarketIO, GeneralFileWithSingleDirectionKeepsWeight) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 2.5\n");
+  const Graph g = read_matrix_market(in);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 2.5);
+}
+
+TEST(MatrixMarketIO, GeneralFileMismatchedMirrorRejected) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 2.5\n2 1 2.0\n");
+  expect_error_containing([&] { read_matrix_market(in); }, "mirrored entries disagree");
+}
+
+TEST(MatrixMarketIO, DuplicateEntryRejected) {
+  std::stringstream in1(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n2 1 2.5\n2 1 2.5\n");
+  expect_error_containing([&] { read_matrix_market(in1); }, "duplicate entry");
+  std::stringstream in2(
+      "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n2 1 1.0\n2 1 1.0\n");
+  expect_error_containing([&] { read_matrix_market(in2); }, "duplicate entry");
+}
+
+TEST(MatrixMarketIO, SymmetricUpperTriangleRejected) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n3 3 1\n1 3 1.0\n");
+  expect_error_containing([&] { read_matrix_market(in); }, "upper-triangle");
+}
+
+// Regression: blank lines and %-comments inside the entry body are legal
+// MatrixMarket; the old reader threw "bad entry" on them.
+TEST(MatrixMarketIO, BodyCommentsAndBlankLinesSkipped) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% header comment\n3 3 2\n\n% mid-body comment\n2 1 1.5\n\n3 2 2.5\n\n% tail\n");
+  const Graph g = read_matrix_market(in);
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 1.5);
+  EXPECT_DOUBLE_EQ(g.edge(1).w, 2.5);
+}
+
+// Regression: a 0-based (or otherwise out-of-range) index used to underflow
+// `r - 1` into a huge Vertex and surface as a confusing add_edge assertion;
+// now it is a line-numbered range error that mentions 1-based indexing.
+TEST(MatrixMarketIO, ZeroBasedIndexGetsLineNumberedError) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 1.0\n0 2 1.0\n");
+  expect_error_containing([&] { read_matrix_market(in); }, "line 4");
+  std::stringstream again(
+      "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 1.0\n0 2 1.0\n");
+  expect_error_containing([&] { read_matrix_market(again); }, "1-based");
+}
+
+TEST(MatrixMarketIO, OutOfRangeIndexRejected) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 7 1.0\n");
+  expect_error_containing([&] { read_matrix_market(in); }, "out of range");
+}
+
+// Regression: the old reader defaulted a missing weight to 1.0 for every
+// field type. Only `pattern` files omit values by design.
+TEST(MatrixMarketIO, PatternFileGetsUnitWeights) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 1\n");
+  MatrixMarketInfo info;
+  const Graph g = read_matrix_market(in, &info);
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 1.0);
+  EXPECT_DOUBLE_EQ(g.edge(1).w, 1.0);
+  EXPECT_EQ(info.field, "pattern");
+}
+
+TEST(MatrixMarketIO, RealFileMissingWeightRejected) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n3 3 1\n2 1\n");
+  expect_error_containing([&] { read_matrix_market(in); }, "missing or malformed value");
+}
+
+TEST(MatrixMarketIO, MalformedWeightRejected) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n3 3 1\n2 1 heavy\n");
+  expect_error_containing([&] { read_matrix_market(in); }, "line 3");
+}
+
+TEST(MatrixMarketIO, PatternFileWithValueTokenRejected) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n2 1 5.0\n");
+  expect_error_containing([&] { read_matrix_market(in); }, "trailing characters");
+}
+
+// Regression: negative values used to be std::abs-flipped with no trace; the
+// flip is now recorded (Laplacian off-diagonal convention) per entry.
+TEST(MatrixMarketIO, NegativeWeightsFlippedAndCounted) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 -1.5\n3 2 2.0\n");
+  MatrixMarketInfo info;
+  const Graph g = read_matrix_market(in, &info);
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 1.5);
+  EXPECT_DOUBLE_EQ(g.edge(1).w, 2.0);
+  EXPECT_EQ(info.negative_flipped, 1u);
+}
+
+TEST(MatrixMarketIO, ExplicitZeroEntriesDroppedAndCounted) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 0.0\n3 2 2.0\n");
+  MatrixMarketInfo info;
+  const Graph g = read_matrix_market(in, &info);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(info.zero_dropped, 1u);
+}
+
+TEST(MatrixMarketIO, UnsupportedFieldAndSymmetryRejected) {
+  std::stringstream complex_in(
+      "%%MatrixMarket matrix coordinate complex general\n2 2 0\n");
+  expect_error_containing([&] { read_matrix_market(complex_in); }, "unsupported field");
+  std::stringstream skew_in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 0\n");
+  expect_error_containing([&] { read_matrix_market(skew_in); }, "unsupported symmetry");
+}
+
+TEST(MatrixMarketIO, IntegerFieldAccepted) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate integer symmetric\n3 3 1\n2 1 4\n");
+  const Graph g = read_matrix_market(in);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 4.0);
+}
+
+TEST(MatrixMarketIO, TrailingDataRejected) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n3 3 1\n2 1 1.0\n3 2 2.0\n");
+  expect_error_containing([&] { read_matrix_market(in); }, "trailing data");
+}
+
+TEST(MatrixMarketIO, HostileNnzFailsCleanly) {
+  // A hostile size line must produce a spar::Error (truncated body), not a
+  // std::length_error from pre-reserving nnz entries.
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real general\n3 3 1000000000000000000\n2 1 1.0\n");
+  expect_error_containing([&] { read_matrix_market(in); }, "truncated");
+}
+
+TEST(MatrixMarketIO, TruncatedBodyNamesCounts) {
+  std::stringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n2 1 1.0\n");
+  expect_error_containing([&] { read_matrix_market(in); }, "expected 3 entries, found 1");
+}
+
+TEST(MatrixMarketIO, WriterCoalescesParallelEdges) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 2.0);  // parallel edge; one matrix entry of weight 3
+  std::stringstream buffer;
+  write_matrix_market(buffer, g);
+  const Graph back = read_matrix_market(buffer);
+  ASSERT_EQ(back.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(back.edge(0).w, 3.0);
+}
+
+// --- files + format dispatch -----------------------------------------------
 
 TEST(FileIO, SaveAndLoad) {
   const Graph g = cycle_graph(8);
@@ -87,6 +369,41 @@ TEST(FileIO, SaveAndLoad) {
 
 TEST(FileIO, LoadMissingFileThrows) {
   EXPECT_THROW(load_edge_list("/nonexistent/definitely/missing.txt"), Error);
+}
+
+TEST(FormatDispatch, ExtensionMapping) {
+  EXPECT_EQ(format_from_extension("g.mtx"), GraphFormat::kMatrixMarket);
+  EXPECT_EQ(format_from_extension("dir.mtx/g"), GraphFormat::kEdgeList);
+  EXPECT_EQ(format_from_extension("G.MM"), GraphFormat::kMatrixMarket);
+  EXPECT_EQ(format_from_extension("g.spb"), GraphFormat::kBinary);
+  EXPECT_EQ(format_from_extension("g.bin"), GraphFormat::kBinary);
+  EXPECT_EQ(format_from_extension("g.txt"), GraphFormat::kEdgeList);
+  EXPECT_EQ(format_from_extension("noext"), GraphFormat::kEdgeList);
+}
+
+TEST(FormatDispatch, ContentSniffingBeatsExtension) {
+  const Graph g = randomize_weights(grid2d(3, 4), 1.0, 2);
+  const std::string dir = testing::TempDir();
+  // A MatrixMarket document saved with a misleading extension.
+  const std::string mm_as_txt = dir + "/spar_sniff.txt";
+  save_matrix_market(mm_as_txt, g);
+  EXPECT_EQ(detect_format(mm_as_txt), GraphFormat::kMatrixMarket);
+  EXPECT_TRUE(load_graph(mm_as_txt).same_edges(g));
+  // A binary file with no extension at all.
+  const std::string bin_plain = dir + "/spar_sniff_bin";
+  save_binary(bin_plain, g);
+  EXPECT_EQ(detect_format(bin_plain), GraphFormat::kBinary);
+  EXPECT_TRUE(load_graph(bin_plain).same_edges(g));
+}
+
+TEST(FormatDispatch, SaveGraphByExtensionRoundTrips) {
+  const Graph g = randomize_weights(connected_erdos_renyi(30, 0.2, 5), 1.0, 6);
+  const std::string dir = testing::TempDir();
+  for (const char* name : {"/spar_fmt.txt", "/spar_fmt.mtx", "/spar_fmt.spb"}) {
+    const std::string path = dir + name;
+    save_graph(path, g);
+    EXPECT_TRUE(load_graph(path).coalesced().same_edges(g.coalesced())) << path;
+  }
 }
 
 }  // namespace

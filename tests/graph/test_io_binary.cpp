@@ -1,0 +1,260 @@
+#include "graph/io_binary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace spar::graph {
+namespace {
+
+bool identical(const Graph& a, const Graph& b) {
+  if (a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges())
+    return false;
+  for (std::size_t i = 0; i < a.num_edges(); ++i)
+    if (!(a.edge(i) == b.edge(i))) return false;  // exact, order included
+  return true;
+}
+
+std::string serialized(const Graph& g) {
+  std::stringstream buffer;
+  write_binary(buffer, g);
+  return buffer.str();
+}
+
+Graph deserialize(const std::string& bytes) {
+  std::stringstream buffer(bytes);
+  return read_binary(buffer);
+}
+
+template <typename F>
+void expect_error(F&& f, const std::string& needle) {
+  try {
+    f();
+    FAIL() << "expected spar::Error containing \"" << needle << "\"";
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find(needle), std::string::npos)
+        << "message was: " << err.what();
+  }
+}
+
+TEST(BinaryIO, RoundTripIsBitExact) {
+  const Graph g = randomize_weights(connected_erdos_renyi(200, 0.05, 17), 3.0, 4);
+  EXPECT_TRUE(identical(deserialize(serialized(g)), g));
+}
+
+TEST(BinaryIO, RoundTripExtremeWeights) {
+  Graph g(6);
+  g.add_edge(0, 1, std::numeric_limits<double>::min());      // smallest normal
+  g.add_edge(1, 2, std::numeric_limits<double>::denorm_min());
+  g.add_edge(2, 3, std::numeric_limits<double>::max());
+  g.add_edge(3, 4, 0.1);
+  g.add_edge(4, 5, std::nextafter(1.0, 2.0));
+  EXPECT_TRUE(identical(deserialize(serialized(g)), g));
+}
+
+TEST(BinaryIO, EmptyAndEdgelessGraphs) {
+  EXPECT_TRUE(identical(deserialize(serialized(Graph(0))), Graph(0)));
+  EXPECT_TRUE(identical(deserialize(serialized(Graph(5))), Graph(5)));
+}
+
+TEST(BinaryIO, FileSizeMatchesFormula) {
+  const Graph g = grid2d(6, 6);
+  EXPECT_EQ(serialized(g).size(), binary_file_size(g.num_edges()));
+}
+
+TEST(BinaryIO, ArenaLoadReusesBuffers) {
+  const Graph big = grid2d(10, 10);
+  const Graph small = grid2d(3, 3);
+  EdgeArena arena;
+  std::stringstream b1(serialized(big));
+  read_binary(b1, arena);
+  EXPECT_EQ(arena.size(), big.num_edges());
+  std::stringstream b2(serialized(small));
+  read_binary(b2, arena);
+  EXPECT_EQ(arena.size(), small.num_edges());
+  EXPECT_TRUE(identical(arena.to_graph(), small));
+}
+
+TEST(BinaryIO, HasBinaryMagicSniffsWithoutConsuming) {
+  std::stringstream buffer(serialized(grid2d(3, 3)));
+  EXPECT_TRUE(has_binary_magic(buffer));
+  EXPECT_TRUE(identical(read_binary(buffer), grid2d(3, 3)));  // stream untouched
+  std::stringstream text("3 1\n0 1 1.0\n");
+  EXPECT_FALSE(has_binary_magic(text));
+}
+
+// --- corruption: every header/payload field is validated --------------------
+
+TEST(BinaryIOCorruption, BadMagic) {
+  std::string bytes = serialized(grid2d(3, 3));
+  bytes[0] = 'X';
+  EXPECT_THROW(deserialize(bytes), Error);
+}
+
+TEST(BinaryIOCorruption, UnsupportedVersion) {
+  std::string bytes = serialized(grid2d(3, 3));
+  bytes[8] = 99;  // version field
+  try {
+    deserialize(bytes);
+    FAIL() << "expected version error";
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(BinaryIOCorruption, NonzeroFlags) {
+  std::string bytes = serialized(grid2d(3, 3));
+  bytes[12] = 1;  // reserved flags
+  EXPECT_THROW(deserialize(bytes), Error);
+}
+
+TEST(BinaryIOCorruption, TruncatedHeaderAndPayload) {
+  const std::string bytes = serialized(grid2d(4, 4));
+  EXPECT_THROW(deserialize(bytes.substr(0, 10)), Error);
+  EXPECT_THROW(deserialize(bytes.substr(0, bytes.size() - 3)), Error);
+}
+
+TEST(BinaryIOCorruption, TrailingBytesRejected) {
+  EXPECT_THROW(deserialize(serialized(grid2d(4, 4)) + "junk"), Error);
+}
+
+TEST(BinaryIOCorruption, ChecksumCatchesPayloadFlip) {
+  std::string bytes = serialized(grid2d(4, 4));
+  bytes[bytes.size() - 1] ^= 0x40;  // flip a bit inside the last weight
+  try {
+    deserialize(bytes);
+    FAIL() << "expected checksum error";
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(BinaryIOCorruption, ImplausibleEdgeCountRejected) {
+  std::string bytes = serialized(grid2d(3, 3));
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  std::memcpy(bytes.data() + 24, &huge, sizeof(huge));  // m field
+  EXPECT_THROW(deserialize(bytes), Error);
+}
+
+TEST(BinaryIOCorruption, PlausibleButWrongEdgeCountFailsBeforeAllocating) {
+  // An m below the global plausibility cap but inconsistent with the stream
+  // length must be rejected by the size cross-check, not by attempting a
+  // (possibly enormous) allocation and hitting a short read.
+  std::string bytes = serialized(grid2d(3, 3));
+  const std::uint64_t wrong = std::uint64_t{1} << 32;
+  std::memcpy(bytes.data() + 24, &wrong, sizeof(wrong));  // m field
+  expect_error([&] { deserialize(bytes); }, "stream length");
+}
+
+TEST(BinaryIOCorruption, HeaderPatchTripsChecksum) {
+  // The checksum seed covers (n, m), so even a header-only edit is caught.
+  Graph g(4);
+  g.add_edge(2, 3, 1.0);
+  std::string bytes = serialized(g);
+  const std::uint64_t small_n = 2;
+  std::memcpy(bytes.data() + 16, &small_n, sizeof(small_n));  // n field
+  try {
+    deserialize(bytes);
+    FAIL() << "expected checksum error";
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find("checksum"), std::string::npos);
+  }
+}
+
+// A well-formed file (magic, version, checksum all valid) whose payload
+// violates the edge invariants must still be rejected by validate().
+TEST(BinaryIOCorruption, InvalidEdgesRejectedDespiteValidChecksum) {
+  const auto write_bad = [](Vertex u, Vertex v, double w) {
+    EdgeArena arena;
+    arena.resize(4, 1);
+    arena.mutable_u()[0] = u;
+    arena.mutable_v()[0] = v;
+    arena.weights()[0] = w;
+    std::stringstream buffer;
+    write_binary(buffer, arena.view());  // writer does not validate
+    return buffer.str();
+  };
+  expect_error([&] { deserialize(write_bad(9, 1, 1.0)); }, "out of range");
+  expect_error([&] { deserialize(write_bad(2, 2, 1.0)); }, "self-loop");
+  expect_error([&] { deserialize(write_bad(0, 1, -1.0)); }, "positive");
+  expect_error([&] { deserialize(write_bad(0, 1, std::nan(""))); }, "positive");
+}
+
+// --- cross-format round trips (the tentpole contract) ----------------------
+
+// edge list <-> binary <-> MatrixMarket must agree bit-for-bit on the edge
+// multiset for arbitrary graphs, including weights at max_digits10 extremes.
+TEST(CrossFormatRoundTrip, AllThreeFormatsAgreeBitForBit) {
+  const std::uint64_t seeds[] = {1, 2, 3};
+  for (const std::uint64_t seed : seeds) {
+    const Graph g = randomize_weights(
+        connected_erdos_renyi(120, 0.06, seed), 6.0, seed + 10);
+
+    // text
+    std::stringstream text;
+    write_edge_list(text, g);
+    const Graph via_text = read_edge_list(text);
+    EXPECT_TRUE(identical(via_text, g)) << "seed " << seed;
+
+    // binary
+    const Graph via_bin = deserialize(serialized(g));
+    EXPECT_TRUE(identical(via_bin, g)) << "seed " << seed;
+
+    // MatrixMarket (canonical simple graph: coalesced, (lo,hi) orientation)
+    std::stringstream mm;
+    write_matrix_market(mm, g);
+    const Graph via_mm = read_matrix_market(mm);
+    EXPECT_TRUE(via_mm.same_edges(g.coalesced())) << "seed " << seed;
+
+    // and the composition binary(text(mm(g))) stays exact
+    std::stringstream mm2;
+    write_matrix_market(mm2, via_bin);
+    std::stringstream text2;
+    write_edge_list(text2, read_matrix_market(mm2));
+    const Graph chained = deserialize(serialized(read_edge_list(text2)));
+    EXPECT_TRUE(chained.same_edges(g.coalesced())) << "seed " << seed;
+  }
+}
+
+TEST(CrossFormatRoundTrip, ExtremeWeightsSurviveTextAndMm) {
+  Graph g(5);
+  g.add_edge(0, 1, 1e-300);
+  g.add_edge(1, 2, 1e300);
+  g.add_edge(2, 3, 0.1 * 0.1 * 0.1);  // not exactly representable in decimal
+  g.add_edge(3, 4, std::nextafter(0.5, 1.0));
+  std::stringstream text;
+  write_edge_list(text, g);
+  EXPECT_TRUE(identical(read_edge_list(text), g));
+  std::stringstream mm;
+  write_matrix_market(mm, g);
+  const Graph via_mm = read_matrix_market(mm);
+  ASSERT_EQ(via_mm.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.num_edges(); ++i)
+    EXPECT_EQ(via_mm.edge(i).w, g.edge(i).w);  // exact
+}
+
+TEST(CrossFormatRoundTrip, ChecksumIsThreadCountInvariant) {
+  const Graph g = randomize_weights(grid2d(20, 20), 2.0, 8);
+  std::string one, four;
+  {
+    support::par::ThreadLimit limit(1);
+    one = serialized(g);
+  }
+  {
+    support::par::ThreadLimit limit(4);
+    four = serialized(g);
+  }
+  EXPECT_EQ(one, four);
+}
+
+}  // namespace
+}  // namespace spar::graph
