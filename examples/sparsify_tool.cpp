@@ -3,7 +3,17 @@
 //   sparsify_tool <inputs...> [--method=koutis,ss] [--eps=0.5,1.0] [--rho=8,32]
 //                 [--t=3] [--keep=0.25] [--seed=1] [--json=report.json]
 //                 [--out=sparse.spb]
+//   sparsify_tool <inputs...> --stream [--batch-edges=N] [--json=report.json]
 //   sparsify_tool --in=g.txt --convert=g.spb
+//
+// --stream runs the merge-and-reduce streaming driver (sparsify/stream.hpp):
+// file inputs are consumed through batched edge streams (never fully
+// resident inside the sparsifier), gen: inputs through in-memory slab
+// batches. Stream mode implies method=koutis, skips the largest-component
+// reduction (the stream is the raw graph), and reports the tower's
+// peak-resident/merge accounting next to the quality numbers (the quality
+// report itself still loads the input for comparison -- bench_stream is the
+// bounded-memory demonstration).
 //
 // Inputs (one or more, positional or --in=a,b): file paths, or synthetic
 // specs `gen:<family>:<params>[:seed]`, e.g. gen:grid:64x48, gen:wgrid:32x32:7
@@ -34,6 +44,7 @@
 #include "sparsify/incremental.hpp"
 #include "sparsify/quality.hpp"
 #include "sparsify/sparsify.hpp"
+#include "sparsify/stream.hpp"
 #include "support/error.hpp"
 #include "support/options.hpp"
 #include "support/timer.hpp"
@@ -134,6 +145,8 @@ struct RunRecord {
   std::uint64_t seed = 0;
   double ms = 0;
   sparsify::QualityReport report;
+  bool stream = false;
+  sparsify::StreamReport stream_report;
 };
 
 void write_json(const std::string& path, const std::vector<RunRecord>& runs) {
@@ -156,8 +169,21 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs) {
         << ", \"max_cut_ratio\": " << q.max_cut_ratio
         << ", \"connected\": " << (q.sparsifier_connected ? "true" : "false")
         << ", \"weight_in\": " << q.weight_original
-        << ", \"weight_out\": " << q.weight_sparsifier << "}"
-        << (i + 1 < runs.size() ? "," : "") << "\n";
+        << ", \"weight_out\": " << q.weight_sparsifier;
+    if (r.stream) {
+      const auto& s = r.stream_report;
+      out << ", \"stream\": true, \"batch_edges\": " << s.batch_edges
+          << ", \"stream_batches\": " << s.batches
+          << ", \"peak_resident_edges\": " << s.peak_resident_edges
+          << ", \"stream_levels\": " << s.levels_used
+          << ", \"stream_depth_used\": " << s.depth_used
+          << ", \"stream_depth_planned\": " << s.depth_planned
+          << ", \"per_level_epsilon\": " << s.per_level_epsilon
+          << ", \"stream_sparsify_calls\": " << s.sparsify_calls
+          << ", \"stream_merge_edges\": " << s.metrics.merge_edges
+          << ", \"stream_words_ingested\": " << s.metrics.words_ingested;
+    }
+    out << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   if (!out.good()) throw Error("write failed for --json path " + path);
@@ -217,6 +243,7 @@ int run(int argc, char** argv) {
         "usage: sparsify_tool <inputs...> [--method=koutis,ss] [--eps=0.5,1.0]\n"
         "                     [--rho=8,32] [--t=3] [--keep=0.25] [--seed=1]\n"
         "                     [--json=report.json] [--out=sparse.spb]\n"
+        "       sparsify_tool <inputs...> --stream [--batch-edges=131072]\n"
         "       sparsify_tool --in=g.txt --convert=g.spb\n"
         "inputs: paths (.mtx/.mm, .spb/.bin, else edge list; content magic wins)\n"
         "        or gen:<family>:<params>[:seed] (grid:RxC, wgrid:RxC, er:N,\n"
@@ -226,12 +253,17 @@ int run(int argc, char** argv) {
 
   // Parse and validate the whole option matrix before touching any file, so
   // a malformed value fails fast with a clean message.
+  const bool stream_mode = opt.get_bool("stream", false);
   const std::vector<std::string> methods = split(opt.get("method", "koutis"), ',');
   const std::vector<double> eps_list = parse_list(opt, "eps", 1.0);
   const std::vector<double> rho_list = parse_list(opt, "rho", 8.0);
   const auto t = static_cast<std::size_t>(opt.get_int("t", 3));
   const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
   const double keep = opt.get_double("keep", 0.25);
+  const std::int64_t batch_edges_raw =
+      opt.get_int("batch-edges", std::int64_t{1} << 17);
+  if (batch_edges_raw <= 0) throw Error("--batch-edges must be positive");
+  const auto batch_edges = static_cast<std::size_t>(batch_edges_raw);
   const std::string json_path = opt.get("json", "");
   const std::string out_path = opt.get("out", "");
   const std::string convert_path = opt.get("convert", "");
@@ -239,6 +271,10 @@ int run(int argc, char** argv) {
     if (!known_method(method))
       throw Error("unknown method: " + method +
                   " (want koutis, sample, ss, uniform or incremental)");
+  if (stream_mode)
+    for (const std::string& method : methods)
+      if (method != "koutis")
+        throw Error("--stream supports method=koutis only (got " + method + ")");
   if (!json_path.empty()) {
     // Probe the sink now: an unwritable path must not discard a finished batch.
     std::ofstream probe(json_path, std::ios::app);
@@ -268,24 +304,47 @@ int run(int argc, char** argv) {
   bool all_connected = true;
   for (const std::string& spec : inputs) {
     const graph::Graph input = load_input(spec);
-    auto comp = graph::largest_component(input);
-    const bool reduced = comp.graph.num_vertices() != input.num_vertices();
+    // Stream mode sparsifies the raw stream: no component reduction.
+    graph::InducedSubgraph comp;
+    if (!stream_mode) comp = graph::largest_component(input);
+    const bool reduced =
+        !stream_mode && comp.graph.num_vertices() != input.num_vertices();
     if (reduced)
       std::printf("%s: disconnected; using largest component: %u of %u vertices\n",
                   spec.c_str(), comp.graph.num_vertices(), input.num_vertices());
-    const graph::Graph& g = comp.graph;
+    const graph::Graph& g = stream_mode ? input : comp.graph;
     std::printf("%s: n=%u m=%zu total weight %.6g\n", spec.c_str(), g.num_vertices(),
                 g.num_edges(), g.total_weight());
+    const bool stream_from_memory = stream_mode && spec.rfind("gen:", 0) == 0;
+    graph::EdgeArena gen_arena;
+    if (stream_from_memory) gen_arena.assign(g);
 
     for (const std::string& method : methods)
       for (double eps : eps_list)
         for (double rho : rho_list) {
           support::Timer timer;
-          const graph::Graph sparse = run_method(g, method, eps, rho, t, seed, keep);
+          graph::Graph sparse;
+          sparsify::StreamReport stream_report;
+          if (stream_mode) {
+            sparsify::StreamOptions sopt;
+            sopt.epsilon = eps;
+            sopt.rho = rho;
+            sopt.t = t;
+            sopt.keep_probability = keep;
+            sopt.seed = seed;
+            sopt.batch_edges = batch_edges;
+            sparsify::StreamResult sr =
+                stream_from_memory ? sparsify::stream_sparsify(gen_arena.view(), sopt)
+                                   : sparsify::stream_sparsify_file(spec, sopt);
+            sparse = std::move(sr.sparsifier);
+            stream_report = std::move(sr.report);
+          } else {
+            sparse = run_method(g, method, eps, rho, t, seed, keep);
+          }
           const double ms = timer.millis();
           RunRecord rec;
           rec.input = spec;
-          rec.method = method;
+          rec.method = stream_mode ? "koutis-stream" : method;
           rec.n = g.num_vertices();
           rec.m = g.num_edges();
           rec.reduced_to_component = reduced;
@@ -295,14 +354,29 @@ int run(int argc, char** argv) {
           rec.seed = seed;
           rec.ms = ms;
           rec.report = sparsify::quality_report(g, sparse);
+          rec.stream = stream_mode;
+          rec.stream_report = stream_report;
           const auto& q = rec.report;
           std::printf(
               "  method=%s eps=%g rho=%g: %zu -> %zu edges (%.2fx) in %.1f ms; "
               "quad [%.4f, %.4f] cut [%.4f, %.4f] %s\n",
-              method.c_str(), eps, rho, q.edges_original, q.edges_sparsifier,
+              rec.method.c_str(), eps, rho, q.edges_original, q.edges_sparsifier,
               q.edge_reduction(), ms, q.min_quadratic_ratio, q.max_quadratic_ratio,
               q.min_cut_ratio, q.max_cut_ratio,
               q.sparsifier_connected ? "connected" : "DISCONNECTED");
+          if (stream_mode) {
+            const auto& s = rec.stream_report;
+            std::printf(
+                "    stream: %zu batches of <=%zu, peak resident %zu edges "
+                "(%.2fx final), %zu passes over %zu levels, depth %zu/%zu, "
+                "eps/level %.4f\n",
+                s.batches, s.batch_edges, s.peak_resident_edges,
+                s.final_edges > 0 ? static_cast<double>(s.peak_resident_edges) /
+                                        static_cast<double>(s.final_edges)
+                                  : 0.0,
+                s.sparsify_calls, s.levels_used, s.depth_used, s.depth_planned,
+                s.per_level_epsilon);
+          }
           all_connected = all_connected && q.sparsifier_connected;
           records.push_back(std::move(rec));
           if (!out_path.empty()) {

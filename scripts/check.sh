@@ -51,3 +51,10 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # byte-identity round trip already ran above as the ctest
 # `sparsify_tool_format_roundtrip` (examples/CMakeLists.txt).
 "$build_dir/bench/bench_io" --quick=1
+
+# Streaming smoke: bench_stream exits nonzero if the file stream disagrees
+# with the memory stream, thread counts disagree, or a small-config streamed
+# sparsifier certifies outside the requested eps. (The fuzz/property suites
+# -- SPARBIN corruption sweeps, the quality_report matrix, the streaming
+# golden hash -- already ran above under ctest.)
+"$build_dir/bench/bench_stream" --quick=1

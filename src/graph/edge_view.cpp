@@ -33,6 +33,34 @@ void EdgeArena::resize(Vertex n, std::size_t m) {
   w_.resize(m);
 }
 
+void EdgeArena::append(const EdgeView& view) {
+  if (size_ == 0 && n_ == 0) {
+    n_ = view.num_vertices;
+  } else if (view.num_vertices != n_) {
+    throw spar::Error("EdgeArena::append: vertex count mismatch (" +
+                      std::to_string(view.num_vertices) + " vs " +
+                      std::to_string(n_) + ")");
+  }
+  const std::size_t at = size_;
+  resize(n_, size_ + view.size);
+  par::parallel_for(0, static_cast<std::int64_t>(view.size), [&](std::int64_t i) {
+    const auto id = static_cast<std::size_t>(i);
+    u_[at + id] = view.u[id];
+    v_[at + id] = view.v[id];
+    w_[at + id] = view.w[id];
+  });
+}
+
+void EdgeArena::release() {
+  size_ = 0;
+  u_ = {};
+  v_ = {};
+  w_ = {};
+  next_u_ = {};
+  next_v_ = {};
+  next_w_ = {};
+}
+
 void EdgeArena::validate() const {
   const auto bad = [&](std::size_t i) {
     return u_[i] >= n_ || v_[i] >= n_ || u_[i] == v_[i] ||

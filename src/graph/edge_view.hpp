@@ -62,6 +62,17 @@ class EdgeArena {
   /// without a per-edge add_edge loop.
   void resize(Vertex n, std::size_t m);
 
+  /// Concatenate `view` onto the active slab (the merge step of the
+  /// merge-and-reduce streaming tower). An empty arena adopts the view's
+  /// vertex count; otherwise the counts must match. Appended edges keep the
+  /// view's index order, so the result is the edge list a serial
+  /// append-in-arrival-order loop would build.
+  void append(const EdgeView& view);
+
+  /// Release all buffer memory (capacity drops to zero). The streaming tower
+  /// calls this on levels it has merged away so peak residency is real.
+  void release();
+
   std::span<Vertex> mutable_u() { return {u_.data(), size_}; }
   std::span<Vertex> mutable_v() { return {v_.data(), size_}; }
 

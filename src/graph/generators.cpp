@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <numeric>
 #include <set>
+#include <utility>
 
 #include "support/assert.hpp"
 #include "support/rng.hpp"
@@ -124,26 +126,86 @@ Graph connected_erdos_renyi(Vertex n, double p, std::uint64_t seed) {
 
 Graph random_regular(Vertex n, Vertex d, std::uint64_t seed) {
   SPAR_CHECK(static_cast<std::uint64_t>(n) * d % 2 == 0, "random_regular: n*d must be even");
+  SPAR_CHECK(d < n || d == 0, "random_regular: need d < n");
   Rng rng(seed);
+  if (d == 0) return Graph(n);
+
+  // Stub pairing with switch repair. The old pairing DROPPED self-pairs and
+  // duplicate pairs, so degrees only concentrated near d; here a bad pair is
+  // repaired by the standard edge switch (swap second endpoints with a random
+  // other pair, accept iff both replacement pairs are simple), which
+  // preserves the stub multiset -- every vertex keeps exactly d endpoints.
+  // A stuck repair (possible but vanishingly rare for d < n) reshuffles and
+  // starts over, so the result is always exactly d-regular and simple.
+  const std::size_t num_pairs = static_cast<std::size_t>(n) * d / 2;
   std::vector<Vertex> stubs;
-  stubs.reserve(static_cast<std::size_t>(n) * d);
+  stubs.reserve(2 * num_pairs);
   for (Vertex v = 0; v < n; ++v)
     for (Vertex i = 0; i < d; ++i) stubs.push_back(v);
-  for (std::size_t i = stubs.size(); i > 1; --i) {
-    const auto j = static_cast<std::size_t>(rng.below(i));
-    std::swap(stubs[i - 1], stubs[j]);
+
+  const auto norm = [](Vertex a, Vertex b) {
+    return a < b ? std::pair<Vertex, Vertex>{a, b} : std::pair<Vertex, Vertex>{b, a};
+  };
+
+  for (;;) {  // restart loop; each iteration nearly always succeeds
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(rng.below(i));
+      std::swap(stubs[i - 1], stubs[j]);
+    }
+    // seen counts normalized pairs; a pair is bad if it is a self-loop or a
+    // second (or later) copy of an edge.
+    std::map<std::pair<Vertex, Vertex>, std::size_t> seen;
+    std::vector<std::size_t> bad;
+    for (std::size_t i = 0; i < num_pairs; ++i) {
+      const Vertex a = stubs[2 * i], b = stubs[2 * i + 1];
+      if (a == b || ++seen[norm(a, b)] > 1) bad.push_back(i);
+    }
+
+    const auto is_simple = [&](Vertex a, Vertex b) {
+      if (a == b) return false;
+      const auto it = seen.find(norm(a, b));
+      return it == seen.end() || it->second == 0;
+    };
+    const auto count = [&](Vertex a, Vertex b, std::size_t delta) {
+      if (a != b) seen[norm(a, b)] += delta;
+    };
+
+    // Repair: switch each bad pair against random partners until both
+    // resulting pairs are simple. Budgeted; on exhaustion, reshuffle.
+    std::size_t attempts_left = 200 * num_pairs + 1000;
+    while (!bad.empty() && attempts_left > 0) {
+      --attempts_left;
+      const std::size_t i = bad.back();
+      const std::size_t j = static_cast<std::size_t>(rng.below(num_pairs));
+      if (j == i) continue;
+      Vertex& ai = stubs[2 * i];
+      Vertex& bi = stubs[2 * i + 1];
+      Vertex& aj = stubs[2 * j];
+      Vertex& bj = stubs[2 * j + 1];
+      // Temporarily retire both pairs' edge counts (count() ignores
+      // self-loops, so a self-loop pair simply contributes nothing).
+      count(ai, bi, static_cast<std::size_t>(-1));
+      count(aj, bj, static_cast<std::size_t>(-1));
+      if (is_simple(ai, bj) && is_simple(aj, bi) && norm(ai, bj) != norm(aj, bi)) {
+        std::swap(bi, bj);
+        count(ai, bi, 1);
+        count(aj, bj, 1);
+        // Both replacement pairs were checked simple against everything else,
+        // so the switch fixes pair i and cannot create a new bad pair.
+        bad.pop_back();
+      } else {
+        count(ai, bi, 1);
+        count(aj, bj, 1);
+      }
+    }
+    if (!bad.empty()) continue;  // pathological shuffle; try again
+
+    Graph g(n);
+    g.reserve(num_pairs);
+    for (std::size_t i = 0; i < num_pairs; ++i)
+      g.add_edge(stubs[2 * i], stubs[2 * i + 1], 1.0);
+    return g;
   }
-  std::set<std::pair<Vertex, Vertex>> seen;
-  Graph g(n);
-  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
-    Vertex u = stubs[i];
-    Vertex v = stubs[i + 1];
-    if (u == v) continue;
-    if (u > v) std::swap(u, v);
-    if (!seen.insert({u, v}).second) continue;
-    g.add_edge(u, v, 1.0);
-  }
-  return g;
 }
 
 Graph preferential_attachment(Vertex n, Vertex k, std::uint64_t seed) {

@@ -39,8 +39,10 @@ Graph erdos_renyi(Vertex n, double p, std::uint64_t seed);
 /// backbone (random permutation path) is added first.
 Graph connected_erdos_renyi(Vertex n, double p, std::uint64_t seed);
 
-/// Random d-regular-ish multigraph via permutation pairing; parallel edges
-/// and self-pairings are dropped, so degrees are <= d but concentrate at d.
+/// Random simple d-regular graph via stub pairing with switch repair: bad
+/// pairs (self-loops, duplicates) are fixed by degree-preserving edge
+/// switches, so every vertex has degree exactly d. Requires n*d even and
+/// d < n (else no simple d-regular graph exists).
 Graph random_regular(Vertex n, Vertex d, std::uint64_t seed);
 
 /// Barabasi-Albert preferential attachment: each new vertex attaches k edges.

@@ -9,6 +9,7 @@
 #include <iomanip>
 #include <istream>
 #include <limits>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <tuple>
@@ -102,67 +103,23 @@ struct LineError {
   throw spar::Error(who + ": line " + std::to_string(line) + ": " + what);
 }
 
-std::string read_file_to_string(const std::string& path, const char* who) {
-  std::ifstream in(path, std::ios::binary);
-  SPAR_CHECK(in.good(), std::string(who) + ": cannot open " + path);
-  in.seekg(0, std::ios::end);
-  const auto len = in.tellg();
-  SPAR_CHECK(len >= 0, std::string(who) + ": cannot stat " + path);
-  std::string buf(static_cast<std::size_t>(len), '\0');
-  in.seekg(0);
-  in.read(buf.data(), len);
-  // A short read (file truncated between the size query and the read) sets
-  // failbit, not badbit; without the gcount check the NUL-padded tail would
-  // surface as a bogus parse error at a phantom line.
-  SPAR_CHECK(!in.bad() && in.gcount() == len,
-             std::string(who) + ": read failed for " + path);
-  return buf;
+constexpr std::size_t kNoExpectedEntries = std::numeric_limits<std::size_t>::max();
+
+bool parse_header_counts(std::string_view header, std::uint64_t& n, std::uint64_t& m) {
+  const char* p = header.data();
+  const char* end = header.data() + header.size();
+  return parse_u64(p, end, n) && parse_u64(p, end, m) && at_line_end(p, end);
 }
 
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Edge lists
-
-void write_edge_list(std::ostream& out, const Graph& g) {
-  out << std::setprecision(std::numeric_limits<double>::max_digits10);
-  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
-  for (const Edge& e : g.edges()) out << e.u << ' ' << e.v << ' ' << e.w << '\n';
-}
-
-void parse_edge_list(std::string_view text, EdgeArena& arena) {
-  constexpr const char* kWho = "read_edge_list";
-
-  // Header: first content line, "#" comments and blank lines before it.
-  std::size_t pos = 0;
-  std::size_t line_no = 0;
-  std::string_view header;
-  while (pos < text.size()) {
-    std::size_t e = text.find('\n', pos);
-    if (e == std::string_view::npos) e = text.size();
-    const std::string_view line = text.substr(pos, e - pos);
-    ++line_no;
-    pos = e + 1;
-    if (is_content_line(line, '#')) {
-      header = line;
-      break;
-    }
-  }
-  SPAR_CHECK(!header.empty(), std::string(kWho) + ": empty input");
-
-  std::uint64_t n = 0, m = 0;
-  {
-    const char* p = header.data();
-    const char* end = header.data() + header.size();
-    if (!parse_u64(p, end, n) || !parse_u64(p, end, m) || !at_line_end(p, end))
-      throw_at_line(kWho, line_no, "bad header (want \"<num_vertices> <num_edges>\")");
-    SPAR_CHECK(n <= std::numeric_limits<Vertex>::max(),
-               std::string(kWho) + ": vertex count exceeds 32-bit vertex ids");
-  }
-  const std::size_t body_first_line = line_no + 1;
-  const std::string_view body =
-      pos <= text.size() ? text.substr(std::min(pos, text.size())) : std::string_view{};
-
+/// Two-pass chunk-parallel parse of edge-list body lines into `arena` (resized
+/// to the entry count found). Line numbers in errors are 1-based file lines
+/// (`body_first_line` anchors them), so the whole-file reader and the batched
+/// text stream diagnose identically. When `expected_entries` is not
+/// kNoExpectedEntries, a count mismatch is reported between the passes --
+/// before any per-line error -- matching the historical reader's precedence.
+std::size_t parse_edge_body(std::string_view body, std::size_t body_first_line,
+                            std::uint64_t n, std::size_t expected_entries,
+                            EdgeArena& arena, const char* who) {
   // Chunk boundaries are raw byte offsets snapped to line starts inside
   // for_each_line_in -- a pure function of (body length, grain), never of the
   // thread count, so entry ranks (= edge ids) are deterministic.
@@ -198,13 +155,15 @@ void parse_edge_list(std::string_view text, EdgeArena& arena) {
     total_lines += chunk_lines[c];
     total_entries += chunk_entries[c];
   }
-  if (total_entries != m)
-    throw spar::Error(std::string(kWho) + ": expected " + std::to_string(m) +
-                      " edges, found " + std::to_string(total_entries) +
-                      (total_entries < m ? " (truncated edge list)" : " (trailing data)"));
+  if (expected_entries != kNoExpectedEntries && total_entries != expected_entries)
+    throw spar::Error(std::string(who) + ": expected " +
+                      std::to_string(expected_entries) + " edges, found " +
+                      std::to_string(total_entries) +
+                      (total_entries < expected_entries ? " (truncated edge list)"
+                                                        : " (trailing data)"));
 
   // Pass 2: parse every entry straight into the arena at its global rank.
-  arena.resize(static_cast<Vertex>(n), static_cast<std::size_t>(m));
+  arena.resize(static_cast<Vertex>(n), total_entries);
   auto out_u = arena.mutable_u();
   auto out_v = arena.mutable_v();
   auto out_w = arena.weights();
@@ -265,7 +224,68 @@ void parse_edge_list(std::string_view text, EdgeArena& arena) {
         return a.line < b.line;
       });
   if (bad != chunk_error.end() && bad->line != 0)
-    throw_at_line(kWho, bad->line, bad->what);
+    throw_at_line(who, bad->line, bad->what);
+  return total_entries;
+}
+
+std::string read_file_to_string(const std::string& path, const char* who) {
+  std::ifstream in(path, std::ios::binary);
+  SPAR_CHECK(in.good(), std::string(who) + ": cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const auto len = in.tellg();
+  SPAR_CHECK(len >= 0, std::string(who) + ": cannot stat " + path);
+  std::string buf(static_cast<std::size_t>(len), '\0');
+  in.seekg(0);
+  in.read(buf.data(), len);
+  // A short read (file truncated between the size query and the read) sets
+  // failbit, not badbit; without the gcount check the NUL-padded tail would
+  // surface as a bogus parse error at a phantom line.
+  SPAR_CHECK(!in.bad() && in.gcount() == len,
+             std::string(who) + ": read failed for " + path);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Edge lists
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) out << e.u << ' ' << e.v << ' ' << e.w << '\n';
+}
+
+void parse_edge_list(std::string_view text, EdgeArena& arena) {
+  constexpr const char* kWho = "read_edge_list";
+
+  // Header: first content line, "#" comments and blank lines before it.
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  std::string_view header;
+  while (pos < text.size()) {
+    std::size_t e = text.find('\n', pos);
+    if (e == std::string_view::npos) e = text.size();
+    const std::string_view line = text.substr(pos, e - pos);
+    ++line_no;
+    pos = e + 1;
+    if (is_content_line(line, '#')) {
+      header = line;
+      break;
+    }
+  }
+  SPAR_CHECK(!header.empty(), std::string(kWho) + ": empty input");
+
+  std::uint64_t n = 0, m = 0;
+  if (!parse_header_counts(header, n, m))
+    throw_at_line(kWho, line_no, "bad header (want \"<num_vertices> <num_edges>\")");
+  SPAR_CHECK(n <= std::numeric_limits<Vertex>::max(),
+             std::string(kWho) + ": vertex count exceeds 32-bit vertex ids");
+  const std::size_t body_first_line = line_no + 1;
+  const std::string_view body =
+      pos <= text.size() ? text.substr(std::min(pos, text.size())) : std::string_view{};
+
+  parse_edge_body(body, body_first_line, n, static_cast<std::size_t>(m), arena, kWho);
 }
 
 Graph read_edge_list(std::istream& in) {
@@ -292,6 +312,116 @@ Graph load_edge_list(const std::string& path) {
   EdgeArena arena;
   load_edge_list(path, arena);
   return arena.to_graph();
+}
+
+// ---------------------------------------------------------------------------
+// Batched edge streams
+
+std::size_t MemoryEdgeStream::next_batch(EdgeArena& out, std::size_t max_edges) {
+  SPAR_CHECK(max_edges > 0, "MemoryEdgeStream: max_edges must be positive");
+  const std::size_t k = std::min(max_edges, view_.size - cursor_);
+  if (k == 0) return 0;
+  out.resize(view_.num_vertices, 0);
+  out.append(view_.slab(cursor_, cursor_ + k));
+  cursor_ += k;
+  return k;
+}
+
+struct TextEdgeStream::Impl {
+  std::ifstream in;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::size_t line_no = 0;  ///< 1-based number of the last line consumed
+  std::size_t served = 0;   ///< entries handed out so far
+  std::string line;         ///< getline scratch
+  std::string block;        ///< accumulated batch text (reused)
+};
+
+TextEdgeStream::TextEdgeStream(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  constexpr const char* kWho = "stream_edge_list";
+  Impl& s = *impl_;
+  s.in.open(path, std::ios::binary);
+  SPAR_CHECK(s.in.good(), std::string(kWho) + ": cannot open " + path);
+  // Header: first content line; "#" comments and blank lines before it.
+  bool have_header = false;
+  while (std::getline(s.in, s.line)) {
+    ++s.line_no;
+    if (is_content_line(s.line, '#')) {
+      have_header = true;
+      break;
+    }
+  }
+  SPAR_CHECK(have_header, std::string(kWho) + ": empty input");
+  if (!parse_header_counts(s.line, s.n, s.m))
+    throw_at_line(kWho, s.line_no, "bad header (want \"<num_vertices> <num_edges>\")");
+  SPAR_CHECK(s.n <= std::numeric_limits<Vertex>::max(),
+             std::string(kWho) + ": vertex count exceeds 32-bit vertex ids");
+}
+
+TextEdgeStream::~TextEdgeStream() = default;
+
+Vertex TextEdgeStream::num_vertices() const { return static_cast<Vertex>(impl_->n); }
+std::size_t TextEdgeStream::num_edges() const {
+  return static_cast<std::size_t>(impl_->m);
+}
+
+std::size_t TextEdgeStream::next_batch(EdgeArena& out, std::size_t max_edges) {
+  constexpr const char* kWho = "stream_edge_list";
+  SPAR_CHECK(max_edges > 0, std::string(kWho) + ": max_edges must be positive");
+  Impl& s = *impl_;
+
+  if (s.served == s.m) {
+    // Drain the tail: anything but comments and blanks is trailing data.
+    while (std::getline(s.in, s.line)) {
+      ++s.line_no;
+      if (is_content_line(s.line, '#'))
+        throw_at_line(kWho, s.line_no,
+                      "trailing data after the declared " + std::to_string(s.m) +
+                          " edges");
+    }
+    return 0;
+  }
+
+  // Accumulate raw lines until the block holds max_edges entries (or EOF),
+  // then hand the block to the same chunk-parallel body parser the whole-file
+  // reader uses. Batch boundaries count content lines only, so they are a
+  // pure function of (file, batch size).
+  s.block.clear();
+  const std::size_t first_line = s.line_no + 1;
+  std::size_t content = 0;
+  while (content < max_edges && std::getline(s.in, s.line)) {
+    ++s.line_no;
+    s.block += s.line;
+    s.block += '\n';
+    if (is_content_line(s.line, '#')) ++content;
+  }
+  if (s.served + content < s.m && content < max_edges)
+    throw spar::Error(std::string(kWho) + ": expected " + std::to_string(s.m) +
+                      " edges, found " + std::to_string(s.served + content) +
+                      " (truncated edge list)");
+  if (s.served + content > s.m)
+    throw spar::Error(std::string(kWho) + ": expected " + std::to_string(s.m) +
+                      " edges, found at least " + std::to_string(s.served + content) +
+                      " (trailing data)");
+
+  const std::size_t got = parse_edge_body(s.block, first_line, s.n, content, out, kWho);
+  s.served += got;
+  return got;
+}
+
+std::unique_ptr<EdgeStream> open_edge_stream(const std::string& path) {
+  switch (detect_format(path)) {
+    case GraphFormat::kBinary:
+      return std::make_unique<BinaryEdgeStream>(path);
+    case GraphFormat::kEdgeList:
+      return std::make_unique<TextEdgeStream>(path);
+    case GraphFormat::kMatrixMarket:
+      // MatrixMarket needs whole-file symmetry reconciliation; load it once
+      // and serve batches from memory.
+      return std::make_unique<MemoryEdgeStream>(EdgeArena(load_matrix_market(path)));
+  }
+  throw spar::Error("open_edge_stream: unknown format");
 }
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -23,6 +24,74 @@
 #include "graph/graph.hpp"
 
 namespace spar::graph {
+
+// ---------------------------------------------------------------------------
+// Batched edge streams
+//
+// Bounded-memory pull source of edge batches: the entry point the streaming
+// merge-and-reduce sparsifier (sparsify/stream.hpp) consumes. A stream knows
+// its totals up front (file headers carry n and m) and serves edges in their
+// on-disk/in-memory order, `max_edges` at a time, so batch boundaries are a
+// pure function of (stream, batch size) -- never of the thread count.
+
+class EdgeStream {
+ public:
+  virtual ~EdgeStream() = default;
+
+  virtual Vertex num_vertices() const = 0;
+  /// Total number of edges this stream will yield.
+  virtual std::size_t num_edges() const = 0;
+  /// Refill `out` with the next min(max_edges, remaining) edges; returns the
+  /// batch size, 0 once the stream is exhausted. `out` is resized (buffers
+  /// reused across calls); edges are validated as they land. Throws
+  /// spar::Error on any malformed input.
+  virtual std::size_t next_batch(EdgeArena& out, std::size_t max_edges) = 0;
+};
+
+/// Serves a resident EdgeView (or an owned arena) in slab order. The
+/// in-memory reference implementation every file stream must agree with.
+class MemoryEdgeStream final : public EdgeStream {
+ public:
+  /// Non-owning: `view` must outlive the stream.
+  explicit MemoryEdgeStream(const EdgeView& view) : view_(view) {}
+  /// Owning: adopts the arena (MatrixMarket streaming falls back to this).
+  explicit MemoryEdgeStream(EdgeArena arena)
+      : owned_(std::move(arena)), view_(owned_.view()) {}
+
+  Vertex num_vertices() const override { return view_.num_vertices; }
+  std::size_t num_edges() const override { return view_.size; }
+  std::size_t next_batch(EdgeArena& out, std::size_t max_edges) override;
+
+ private:
+  EdgeArena owned_;
+  EdgeView view_;
+  std::size_t cursor_ = 0;
+};
+
+/// Streams an edge-list text file in bounded memory: lines are accumulated
+/// until the batch holds `max_edges` entries, then the block is parsed by the
+/// same chunk-parallel from_chars body parser load_edge_list uses (errors
+/// carry real 1-based line numbers). Truncated or over-long files are
+/// diagnosed exactly like the whole-file reader.
+class TextEdgeStream final : public EdgeStream {
+ public:
+  explicit TextEdgeStream(const std::string& path);
+  ~TextEdgeStream() override;
+
+  Vertex num_vertices() const override;
+  std::size_t num_edges() const override;
+  std::size_t next_batch(EdgeArena& out, std::size_t max_edges) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Opens `path` as a batched edge stream, dispatching on detect_format():
+/// SPARBIN -> BinaryEdgeStream (io_binary.hpp), edge list -> TextEdgeStream,
+/// MatrixMarket -> whole-file load wrapped in a MemoryEdgeStream (the format
+/// needs global symmetry reconciliation, so it cannot stream).
+std::unique_ptr<EdgeStream> open_edge_stream(const std::string& path);
 
 // ---------------------------------------------------------------------------
 // Edge lists

@@ -1,10 +1,13 @@
 #include "graph/io_binary.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
+#include <memory>
 #include <ostream>
+#include <vector>
 
 #include "support/assert.hpp"
 #include "support/parallel.hpp"
@@ -30,6 +33,8 @@ static_assert(sizeof(Header) == 40, "binary header layout is part of the format"
 // anything bigger is a corrupt or hostile header, not a graph.
 constexpr std::uint64_t kMaxEdges = std::uint64_t{1} << 40;
 
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
 std::uint64_t fnv1a(const unsigned char* p, std::size_t len, std::uint64_t h) {
   constexpr std::uint64_t kPrime = 0x100000001b3ULL;
   for (std::size_t i = 0; i < len; ++i) {
@@ -44,14 +49,64 @@ std::uint64_t fnv1a(const unsigned char* p, std::size_t len, std::uint64_t h) {
 /// for every thread count and for the serial build.
 std::uint64_t checksum_bytes(const void* data, std::size_t len, std::uint64_t seed) {
   const auto* bytes = static_cast<const unsigned char*>(data);
-  constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
   return par::parallel_reduce(
       0, static_cast<std::int64_t>(len), support::mix64(seed, len),
       [&](std::int64_t cb, std::int64_t ce) {
-        return fnv1a(bytes + cb, static_cast<std::size_t>(ce - cb), kOffsetBasis);
+        return fnv1a(bytes + cb, static_cast<std::size_t>(ce - cb), kFnvOffsetBasis);
       },
       [](std::uint64_t acc, std::uint64_t part) { return support::mix64(acc, part); });
 }
+
+/// Incremental mirror of checksum_bytes for one payload array whose bytes
+/// arrive in sequential slices: chunk boundaries are derived from the TOTAL
+/// array length (exactly as the whole-file reader derives them), per-chunk
+/// FNV states roll across feed() calls, and fold(seed) reproduces
+/// checksum_bytes(data, len, seed) bit for bit. Chunk count is capped at 4096
+/// by default_grain, so the deferred part list is tiny.
+struct ArrayHasher {
+  std::uint64_t len = 0;
+  std::int64_t grain = 1;
+  std::vector<std::uint64_t> parts;
+  std::uint64_t cur = kFnvOffsetBasis;
+  std::int64_t in_chunk = 0;
+
+  void init(std::uint64_t total_bytes) {
+    len = total_bytes;
+    grain = par::default_grain(static_cast<std::int64_t>(total_bytes));
+    parts.clear();
+    cur = kFnvOffsetBasis;
+    in_chunk = 0;
+  }
+
+  void feed(const void* data, std::size_t k) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    while (k > 0) {
+      const auto take = std::min<std::size_t>(k, static_cast<std::size_t>(grain - in_chunk));
+      cur = fnv1a(p, take, cur);
+      in_chunk += static_cast<std::int64_t>(take);
+      p += take;
+      k -= take;
+      if (in_chunk == grain) {
+        parts.push_back(cur);
+        cur = kFnvOffsetBasis;
+        in_chunk = 0;
+      }
+    }
+  }
+
+  /// Finalize (flushing a short tail chunk) and fold under `seed`, exactly as
+  /// checksum_bytes combines: identity mix64(seed, len), then parts in order.
+  std::uint64_t fold(std::uint64_t seed) {
+    if (in_chunk > 0) {
+      parts.push_back(cur);
+      cur = kFnvOffsetBasis;
+      in_chunk = 0;
+    }
+    std::uint64_t h = support::mix64(seed, len);
+    for (const std::uint64_t part : parts) h = support::mix64(h, part);
+    return h;
+  }
+};
 
 std::uint64_t payload_checksum(const EdgeView& view) {
   std::uint64_t h = support::mix64(view.num_vertices, view.size);
@@ -99,7 +154,12 @@ void write_binary(std::ostream& out, const Graph& g) {
   write_binary(out, arena.view());
 }
 
-void read_binary(std::istream& in, EdgeArena& arena) {
+namespace {
+
+/// Read + fully validate a SPARBIN header (magic, version, flags, n/m
+/// plausibility). Shared by the whole-file reader and BinaryEdgeStream so
+/// hostile headers fail identically on both paths.
+Header read_checked_header(std::istream& in) {
   Header h = {};
   read_raw(in, &h, sizeof(h), "header");
   SPAR_CHECK(std::memcmp(h.magic, kBinaryMagic, sizeof(h.magic)) == 0,
@@ -111,21 +171,30 @@ void read_binary(std::istream& in, EdgeArena& arena) {
   SPAR_CHECK(h.n <= std::numeric_limits<Vertex>::max(),
              "read_binary: vertex count exceeds 32-bit vertex ids");
   SPAR_CHECK(h.m <= kMaxEdges, "read_binary: implausible edge count (corrupt header)");
+  return h;
+}
 
-  // Before allocating 16 bytes per claimed edge, check the claim against the
-  // stream length where the stream is seekable (files and stringstreams are):
-  // a corrupt header must fail with a message, not an allocation the size of
-  // the address space.
+/// Before allocating 16 bytes per claimed edge, check the claim against the
+/// stream length where the stream is seekable (files and stringstreams are):
+/// a corrupt header must fail with a message, not an allocation the size of
+/// the address space. `pos` is the position right after the header.
+void check_payload_length(std::istream& in, std::istream::pos_type pos,
+                          std::uint64_t payload_bytes) {
+  if (pos == std::istream::pos_type(-1)) return;
+  in.seekg(0, std::ios::end);
+  const auto stream_end = in.tellg();
+  in.seekg(pos);
+  if (stream_end != std::istream::pos_type(-1))
+    SPAR_CHECK(static_cast<std::uint64_t>(stream_end - pos) == payload_bytes,
+               "read_binary: stream length does not match the header's edge count");
+}
+
+}  // namespace
+
+void read_binary(std::istream& in, EdgeArena& arena) {
+  const Header h = read_checked_header(in);
   const std::uint64_t payload_bytes = h.m * (2 * sizeof(Vertex) + sizeof(double));
-  const auto pos = in.tellg();
-  if (pos != std::istream::pos_type(-1)) {
-    in.seekg(0, std::ios::end);
-    const auto stream_end = in.tellg();
-    in.seekg(pos);
-    if (stream_end != std::istream::pos_type(-1))
-      SPAR_CHECK(static_cast<std::uint64_t>(stream_end - pos) == payload_bytes,
-                 "read_binary: stream length does not match the header's edge count");
-  }
+  check_payload_length(in, in.tellg(), payload_bytes);
 
   arena.resize(static_cast<Vertex>(h.n), static_cast<std::size_t>(h.m));
   read_raw(in, arena.mutable_u().data(), arena.size() * sizeof(Vertex), "u[] payload");
@@ -165,6 +234,86 @@ Graph load_binary(const std::string& path) {
   EdgeArena arena;
   load_binary(path, arena);
   return arena.to_graph();
+}
+
+struct BinaryEdgeStream::Impl {
+  std::ifstream in;
+  Header h = {};
+  std::size_t cursor = 0;  ///< edges served so far
+  std::uint64_t u_off = 0, v_off = 0, w_off = 0;
+  ArrayHasher hash_u, hash_v, hash_w;
+  bool verified = false;
+};
+
+BinaryEdgeStream::BinaryEdgeStream(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& s = *impl_;
+  s.in.open(path, std::ios::binary);
+  SPAR_CHECK(s.in.good(), "stream_binary: cannot open " + path);
+  s.h = read_checked_header(s.in);
+  const std::uint64_t word_bytes = sizeof(Vertex);
+  const std::uint64_t payload_bytes = s.h.m * (2 * word_bytes + sizeof(double));
+  check_payload_length(s.in, s.in.tellg(), payload_bytes);
+  s.u_off = sizeof(Header);
+  s.v_off = s.u_off + s.h.m * word_bytes;
+  s.w_off = s.v_off + s.h.m * word_bytes;
+  s.hash_u.init(s.h.m * word_bytes);
+  s.hash_v.init(s.h.m * word_bytes);
+  s.hash_w.init(s.h.m * sizeof(double));
+  if (s.h.m == 0) {
+    // No batches will be served; the (empty-payload) checksum still binds
+    // the header's n and m, so verify it here.
+    std::uint64_t h = support::mix64(s.h.n, s.h.m);
+    h = s.hash_u.fold(h);
+    h = s.hash_v.fold(h);
+    h = s.hash_w.fold(h);
+    SPAR_CHECK(h == s.h.checksum,
+               "stream_binary: checksum mismatch (corrupt payload)");
+    s.verified = true;
+  }
+}
+
+BinaryEdgeStream::~BinaryEdgeStream() = default;
+
+Vertex BinaryEdgeStream::num_vertices() const {
+  return static_cast<Vertex>(impl_->h.n);
+}
+std::size_t BinaryEdgeStream::num_edges() const {
+  return static_cast<std::size_t>(impl_->h.m);
+}
+
+std::size_t BinaryEdgeStream::next_batch(EdgeArena& out, std::size_t max_edges) {
+  SPAR_CHECK(max_edges > 0, "stream_binary: max_edges must be positive");
+  Impl& s = *impl_;
+  const std::size_t k =
+      std::min(max_edges, static_cast<std::size_t>(s.h.m) - s.cursor);
+  if (k == 0) return 0;
+
+  // Three seeked slice reads land the SoA batch straight in the arena; each
+  // slice rolls into the incremental payload checksum.
+  out.resize(static_cast<Vertex>(s.h.n), k);
+  const auto read_slice = [&](std::uint64_t base, void* dst, std::size_t elem_bytes,
+                              ArrayHasher& hasher, const char* what) {
+    s.in.seekg(static_cast<std::streamoff>(base + s.cursor * elem_bytes));
+    read_raw(s.in, dst, k * elem_bytes, what);
+    hasher.feed(dst, k * elem_bytes);
+  };
+  read_slice(s.u_off, out.mutable_u().data(), sizeof(Vertex), s.hash_u, "u[] payload");
+  read_slice(s.v_off, out.mutable_v().data(), sizeof(Vertex), s.hash_v, "v[] payload");
+  read_slice(s.w_off, out.weights().data(), sizeof(double), s.hash_w, "w[] payload");
+  s.cursor += k;
+
+  if (s.cursor == static_cast<std::size_t>(s.h.m) && !s.verified) {
+    std::uint64_t h = support::mix64(s.h.n, s.h.m);
+    h = s.hash_u.fold(h);
+    h = s.hash_v.fold(h);
+    h = s.hash_w.fold(h);
+    SPAR_CHECK(h == s.h.checksum,
+               "stream_binary: checksum mismatch (corrupt payload)");
+    s.verified = true;
+  }
+  out.validate();
+  return k;
 }
 
 bool has_binary_magic(std::istream& in) {

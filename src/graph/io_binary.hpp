@@ -25,10 +25,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "graph/edge_view.hpp"
 #include "graph/graph.hpp"
+#include "graph/io.hpp"
 
 namespace spar::graph {
 
@@ -52,5 +54,27 @@ Graph load_binary(const std::string& path);
 
 /// True when the stream starts with the SPB magic; consumes nothing.
 bool has_binary_magic(std::istream& in);
+
+/// Streams a SPARBIN file in bounded memory. The payload is SoA (all u[],
+/// then all v[], then all w[]), so a batch is three seeked slice reads. The
+/// header is fully validated up front (magic, version, flags, n/m plausibility,
+/// file length vs declared edge count -- a corrupt header fails before any
+/// allocation); each batch is edge-validated as it lands; and the payload
+/// checksum is accumulated incrementally, chunk-for-chunk identical to the
+/// whole-file reader's, and verified when the last batch is served -- a
+/// corrupted payload throws from the final next_batch() call.
+class BinaryEdgeStream final : public EdgeStream {
+ public:
+  explicit BinaryEdgeStream(const std::string& path);
+  ~BinaryEdgeStream() override;
+
+  Vertex num_vertices() const override;
+  std::size_t num_edges() const override;
+  std::size_t next_batch(EdgeArena& out, std::size_t max_edges) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace spar::graph

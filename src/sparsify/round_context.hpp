@@ -38,6 +38,11 @@ class RoundContext {
  public:
   explicit RoundContext(const graph::Graph& g) : arena_(g) {}
 
+  /// Adopt an already-populated arena (zero-copy entry for callers that never
+  /// had a Graph -- the streaming merge-and-reduce tower concatenates level
+  /// arenas and hands the result straight to the round loop).
+  explicit RoundContext(graph::EdgeArena arena) : arena_(std::move(arena)) {}
+
   graph::EdgeArena& arena() { return arena_; }
   const graph::EdgeArena& arena() const { return arena_; }
 

@@ -1,6 +1,7 @@
 #include "sparsify/sparsify.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "support/assert.hpp"
 #include "support/rng.hpp"
@@ -9,25 +10,24 @@ namespace spar::sparsify {
 
 using graph::Graph;
 
-SparsifyResult parallel_sparsify(const Graph& g, const SparsifyOptions& options) {
+SparsifyRoundsResult parallel_sparsify_rounds(RoundContext& ctx,
+                                              const SparsifyOptions& options) {
   SPAR_CHECK(options.epsilon > 0.0, "parallel_sparsify: epsilon must be positive");
   SPAR_CHECK(options.rho >= 1.0, "parallel_sparsify: rho must be >= 1");
 
-  SparsifyResult result;
+  SparsifyRoundsResult result;
   result.rounds_planned =
       static_cast<std::size_t>(std::ceil(std::log2(std::max(options.rho, 1.0))));
   if (result.rounds_planned == 0) {
-    result.sparsifier = g;
     result.per_round_epsilon = options.epsilon;
-    return result;
+    return result;  // rho < 2: zero rounds, ctx is untouched (identity)
   }
   result.per_round_epsilon =
       options.epsilon / static_cast<double>(result.rounds_planned);
 
   // The whole round loop runs in place on one RoundContext: the edge arena
   // shrinks by compaction, the CSR scratch and verdict buffer are reused, and
-  // a Graph is materialized only once, at the end.
-  RoundContext ctx(g);
+  // no Graph is materialized here.
   for (std::size_t round = 0; round < result.rounds_planned; ++round) {
     SampleOptions sopt;
     sopt.epsilon = result.per_round_epsilon;
@@ -52,6 +52,16 @@ SparsifyResult parallel_sparsify(const Graph& g, const SparsifyOptions& options)
       break;  // bundle swallowed the whole graph; further rounds are identities
     }
   }
+  return result;
+}
+
+SparsifyResult parallel_sparsify(const Graph& g, const SparsifyOptions& options) {
+  RoundContext ctx(g);
+  SparsifyRoundsResult rounds = parallel_sparsify_rounds(ctx, options);
+  SparsifyResult result;
+  result.rounds = std::move(rounds.rounds);
+  result.rounds_planned = rounds.rounds_planned;
+  result.per_round_epsilon = rounds.per_round_epsilon;
   result.sparsifier = ctx.arena().to_graph();
   return result;
 }

@@ -49,6 +49,22 @@ struct SparsifyResult {
   double per_round_epsilon = 0.0;
 };
 
+/// Round statistics of an in-place parallel_sparsify_rounds run (everything
+/// SparsifyResult carries except the materialized Graph).
+struct SparsifyRoundsResult {
+  std::vector<RoundStats> rounds;
+  std::size_t rounds_planned = 0;
+  double per_round_epsilon = 0.0;
+};
+
+/// The PARALLELSPARSIFY round loop executed in place on an existing context:
+/// ctx's arena shrinks to the sparsifier, no Graph is materialized. This is
+/// the shared core behind parallel_sparsify(Graph) and the streaming
+/// merge-and-reduce driver (stream.hpp), so both emit bit-identical edge
+/// universes for the same (input, options).
+SparsifyRoundsResult parallel_sparsify_rounds(RoundContext& ctx,
+                                              const SparsifyOptions& options);
+
 SparsifyResult parallel_sparsify(const graph::Graph& g, const SparsifyOptions& options);
 
 }  // namespace spar::sparsify

@@ -1,0 +1,256 @@
+#include "sparsify/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sparsify/round_context.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace spar::sparsify {
+
+using graph::EdgeArena;
+using graph::EdgeView;
+using graph::Graph;
+
+namespace {
+
+constexpr std::uint64_t kStreamSeedTag = 0x73747265616dULL;  // "stream"
+constexpr std::uint64_t kWordsPerEdge = 3;                   // (u, v, w)
+
+std::size_t ceil_log2(std::size_t x) {
+  std::size_t bits = 0;
+  while (bits < 63 && (std::size_t{1} << bits) < x) ++bits;
+  return bits;
+}
+
+/// Sparsify passes an edge can take under a plan of `batches` batches with
+/// `cap` resident levels: up to ceil(log2 B) carries, one flush, one spare
+/// pass of headroom (the flush can land above the natural top), and -- when
+/// the cap is tighter than the natural tower height, so collapses actually
+/// fire -- one extra pass per collapse.
+/// A collapse resets the tower to one sketch and the next needs cap more
+/// batches, so collapses <= batches / cap. With cap >= ceil(log2 B) + 1 the
+/// counter never overflows the cap and the budget is the pure log bound.
+std::size_t planned_depth(std::size_t batches, std::size_t cap) {
+  const std::size_t b = std::max<std::size_t>(batches, 1);
+  const std::size_t log_depth = ceil_log2(b) + 2;
+  if (cap >= ceil_log2(b) + 1) return log_depth;
+  return log_depth + b / std::max<std::size_t>(cap, 1);
+}
+
+/// Per-level epsilon such that D composed (1 +- eps_level) approximations
+/// stay inside (1 +- eps): (1 + eps)^(1/D) - 1. Lower side holds because
+/// eps_level <= eps / D (concavity), see stream.hpp.
+double per_level_epsilon(double eps, std::size_t depth) {
+  return std::expm1(std::log1p(eps) / static_cast<double>(std::max<std::size_t>(depth, 1)));
+}
+
+}  // namespace
+
+StreamSparsifier::StreamSparsifier(graph::Vertex num_vertices,
+                                   const StreamOptions& options)
+    : n_(num_vertices), opt_(options) {
+  SPAR_CHECK(opt_.epsilon > 0.0, "stream_sparsify: epsilon must be positive");
+  SPAR_CHECK(opt_.rho >= 1.0, "stream_sparsify: rho must be >= 1");
+  SPAR_CHECK(opt_.batch_edges > 0, "stream_sparsify: batch_edges must be positive");
+  SPAR_CHECK(opt_.max_resident_levels >= 1,
+             "stream_sparsify: max_resident_levels must be >= 1");
+  if (opt_.planned_batches == 0) opt_.planned_batches = std::size_t{1} << 20;
+  pass_seed_base_ = support::mix64(opt_.seed, kStreamSeedTag);
+  report_.batch_edges = opt_.batch_edges;
+  report_.depth_planned = planned_depth(opt_.planned_batches, opt_.max_resident_levels);
+  report_.per_level_epsilon = per_level_epsilon(opt_.epsilon, report_.depth_planned);
+}
+
+std::size_t StreamSparsifier::resident_edges() const {
+  std::size_t total = 0;
+  for (const Level& level : levels_)
+    if (level.occupied) total += level.arena.size();
+  return total;
+}
+
+void StreamSparsifier::note_resident(std::size_t extra) {
+  report_.peak_resident_edges =
+      std::max(report_.peak_resident_edges, resident_edges() + extra);
+}
+
+void StreamSparsifier::reduce_into(std::size_t target, std::size_t top_level,
+                                   const EdgeView* batch) {
+  const std::size_t batch_size = batch != nullptr ? batch->size : 0;
+
+  // Concatenate oldest-first: the highest level covers the earliest batches.
+  // Moving the top level into the merge arena (instead of copying it) keeps
+  // the transient overhead to one lower level at a time; each appended level
+  // is released as soon as its edges are copied.
+  EdgeArena merged;
+  std::size_t batches_covered = 0;
+  std::size_t depth = 0;
+  for (std::size_t i = top_level + 1; i-- > 0;) {
+    Level& level = levels_[i];
+    if (!level.occupied) continue;
+    if (merged.size() == 0 && merged.num_vertices() == 0) {
+      merged = std::move(level.arena);
+    } else {
+      // Transient: merged + the level being copied + this level's original.
+      note_resident(batch_size + merged.size() + level.arena.size());
+      merged.append(level.arena.view());
+    }
+    level.arena.release();
+    level.occupied = false;
+    batches_covered += level.batches;
+    depth = std::max(depth, level.depth);
+    level.batches = 0;
+    level.depth = 0;
+  }
+  if (batch != nullptr) {
+    if (merged.num_vertices() == 0 && merged.size() == 0) merged.resize(n_, 0);
+    merged.append(*batch);
+    batches_covered += 1;
+  }
+  // The caller's batch buffer coexists with its copy inside `merged`.
+  note_resident(batch_size + merged.size());
+
+  report_.metrics.merge_edges += merged.size();
+  report_.metrics.merge_words += kWordsPerEdge * merged.size();
+
+  // One in-place PARALLELSPARSIFY round loop at the per-level budget; the
+  // pass seed is a pure function of (stream seed, pass index), and the pass
+  // sequence is a pure function of the arrival sequence.
+  SparsifyOptions sopt;
+  sopt.epsilon = report_.per_level_epsilon;
+  sopt.rho = opt_.rho;
+  sopt.t = opt_.t;
+  sopt.keep_probability = opt_.keep_probability;
+  sopt.bundle_kind = opt_.bundle_kind;
+  sopt.seed = support::mix64(pass_seed_base_, ++passes_);
+  sopt.work = opt_.work;
+  RoundContext ctx(std::move(merged));
+  parallel_sparsify_rounds(ctx, sopt);
+
+  if (target >= levels_.size()) levels_.resize(target + 1);
+  Level& dst = levels_[target];
+  dst.arena = std::move(ctx.arena());
+  dst.batches = batches_covered;
+  dst.depth = depth + 1;
+  dst.occupied = true;
+
+  report_.sparsify_calls += 1;
+  if (report_.sparsify_calls_per_level.size() <= target)
+    report_.sparsify_calls_per_level.resize(target + 1, 0);
+  report_.sparsify_calls_per_level[target] += 1;
+  report_.levels_used = std::max(report_.levels_used, target + 1);
+  report_.depth_used = std::max(report_.depth_used, dst.depth);
+}
+
+void StreamSparsifier::ingest(const EdgeView& batch, EdgeArena* owned) {
+  SPAR_CHECK(!finished_, "stream_sparsify: push_batch after finish");
+  SPAR_CHECK(batch.num_vertices == n_,
+             "stream_sparsify: batch vertex count mismatch");
+
+  report_.batches += 1;
+  report_.metrics.edges_ingested += batch.size;
+  report_.metrics.words_ingested += kWordsPerEdge * batch.size;
+  note_resident(batch.size);
+
+  // Binary-counter step with multiway carry: j = first free level; the batch
+  // plus levels 0..j-1 (together <= 2^j batches) become the level-j sketch in
+  // one pass. j == 0 lands the batch raw -- moved in when the tower owns the
+  // buffer, copied otherwise.
+  std::size_t j = 0;
+  while (j < levels_.size() && levels_[j].occupied) ++j;
+  if (j == 0) {
+    if (levels_.empty()) levels_.resize(1);
+    Level& slot = levels_[0];
+    if (owned != nullptr) {
+      slot.arena = std::move(*owned);  // zero-copy landing; `batch` is dead now
+    } else {
+      slot.arena.resize(n_, 0);
+      slot.arena.append(batch);
+      note_resident(batch.size);  // caller's buffer + its level-0 copy
+    }
+    slot.batches = 1;
+    slot.depth = 0;
+    slot.occupied = true;
+    report_.levels_used = std::max<std::size_t>(report_.levels_used, 1);
+  } else {
+    reduce_into(j, j - 1, &batch);
+    if (owned != nullptr) owned->release();
+  }
+
+  // Resident-level cap: collapse the whole tower into one sketch above the
+  // current top. Coverage stays <= 2^(top+1), so the level invariant holds,
+  // and the collapse is one pass for every participating edge.
+  std::size_t occupied = 0, top = 0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (!levels_[i].occupied) continue;
+    ++occupied;
+    top = i;
+  }
+  if (occupied > opt_.max_resident_levels) reduce_into(top + 1, top, nullptr);
+}
+
+void StreamSparsifier::push_batch(const EdgeView& batch) { ingest(batch, nullptr); }
+
+void StreamSparsifier::push_batch(EdgeArena&& batch) {
+  ingest(batch.view(), &batch);
+}
+
+StreamResult StreamSparsifier::finish() {
+  SPAR_CHECK(!finished_, "stream_sparsify: finish called twice");
+  finished_ = true;
+
+  StreamResult result;
+  std::size_t top = levels_.size();
+  while (top > 0 && !levels_[top - 1].occupied) --top;
+  if (top == 0) {
+    result.sparsifier = Graph(n_);  // empty stream
+  } else {
+    // Final flush: concatenate every surviving level and reduce once more, so
+    // the output gets the same compression treatment regardless of whether
+    // the batch count was a power of two.
+    reduce_into(top, top - 1, nullptr);
+    result.sparsifier = levels_[top].arena.to_graph();
+    levels_[top].arena.release();
+    levels_[top].occupied = false;
+  }
+  report_.final_edges = result.sparsifier.num_edges();
+  report_.epsilon_budget_used =
+      std::expm1(static_cast<double>(report_.depth_used) *
+                 std::log1p(report_.per_level_epsilon));
+  result.report = report_;
+  return result;
+}
+
+StreamResult stream_sparsify(const EdgeView& edges, const StreamOptions& options) {
+  StreamOptions opt = options;
+  if (opt.planned_batches == 0)
+    opt.planned_batches =
+        std::max<std::size_t>(1, (edges.size + opt.batch_edges - 1) / opt.batch_edges);
+  StreamSparsifier tower(edges.num_vertices, opt);
+  for (std::size_t at = 0; at < edges.size; at += opt.batch_edges)
+    tower.push_batch(edges.slab(at, std::min(edges.size, at + opt.batch_edges)));
+  return tower.finish();
+}
+
+StreamResult stream_sparsify(graph::EdgeStream& stream, const StreamOptions& options) {
+  StreamOptions opt = options;
+  if (opt.planned_batches == 0)
+    opt.planned_batches = std::max<std::size_t>(
+        1, (stream.num_edges() + opt.batch_edges - 1) / opt.batch_edges);
+  StreamSparsifier tower(stream.num_vertices(), opt);
+  for (;;) {
+    EdgeArena batch;
+    if (stream.next_batch(batch, opt.batch_edges) == 0) break;
+    tower.push_batch(std::move(batch));  // tower adopts: one resident copy
+  }
+  return tower.finish();
+}
+
+StreamResult stream_sparsify_file(const std::string& path, const StreamOptions& options) {
+  const auto stream = graph::open_edge_stream(path);
+  return stream_sparsify(*stream, options);
+}
+
+}  // namespace spar::sparsify

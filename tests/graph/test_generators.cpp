@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
 
 #include "graph/csr.hpp"
 #include "graph/traversal.hpp"
@@ -103,21 +107,56 @@ TEST(Generators, ConnectedErdosRenyiIsConnected) {
   }
 }
 
-TEST(Generators, RandomRegularDegreesConcentrate) {
-  const Vertex d = 8;
-  const Graph g = random_regular(200, d, 23);
-  const CSRGraph csr(g);
-  std::size_t total = 0;
-  for (Vertex v = 0; v < csr.num_vertices(); ++v) {
-    EXPECT_LE(csr.degree(v), d);
-    total += csr.degree(v);
+// Switch-repaired stub pairing: the graph must be EXACTLY d-regular and
+// simple (no self-loops, no parallel edges) for every seed -- the old
+// pairing dropped collisions and only concentrated degrees near d.
+TEST(Generators, RandomRegularExactDegreeAndSimpleOverSeedSweep) {
+  const struct {
+    Vertex n, d;
+  } configs[] = {{8, 3}, {10, 4}, {30, 3}, {50, 7}, {64, 8}, {200, 8}};
+  for (const auto& cfg : configs) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const Graph g = random_regular(cfg.n, cfg.d, seed);
+      EXPECT_EQ(g.num_edges(),
+                static_cast<std::size_t>(cfg.n) * cfg.d / 2)
+          << "n=" << cfg.n << " d=" << cfg.d << " seed=" << seed;
+      std::vector<std::size_t> degree(cfg.n, 0);
+      std::set<std::pair<Vertex, Vertex>> seen;
+      for (const Edge& e : g.edges()) {
+        EXPECT_NE(e.u, e.v) << "self-loop at seed " << seed;
+        const auto lo = std::min(e.u, e.v);
+        const auto hi = std::max(e.u, e.v);
+        EXPECT_TRUE(seen.insert({lo, hi}).second)
+            << "duplicate edge (" << lo << "," << hi << ") at seed " << seed;
+        ++degree[e.u];
+        ++degree[e.v];
+      }
+      for (Vertex v = 0; v < cfg.n; ++v)
+        EXPECT_EQ(degree[v], cfg.d)
+            << "vertex " << v << " n=" << cfg.n << " d=" << cfg.d << " seed=" << seed;
+    }
   }
-  // Pairing drops only collisions: average degree stays close to d.
-  EXPECT_GT(static_cast<double>(total) / 200.0, d - 1.0);
+}
+
+TEST(Generators, RandomRegularDeterministicPerSeed) {
+  const Graph a = random_regular(40, 6, 9);
+  const Graph b = random_regular(40, 6, 9);
+  EXPECT_TRUE(a.same_edges(b));
+}
+
+TEST(Generators, RandomRegularDegreeZeroAndDenseEdge) {
+  EXPECT_EQ(random_regular(12, 0, 3).num_edges(), 0u);
+  // d = n - 1 forces the complete graph; the repair loop must still land it.
+  const Graph g = random_regular(8, 7, 5);
+  EXPECT_EQ(g.num_edges(), 8u * 7 / 2);
 }
 
 TEST(Generators, RandomRegularRejectsOddProduct) {
   EXPECT_THROW(random_regular(5, 3, 1), Error);
+}
+
+TEST(Generators, RandomRegularRejectsInfeasibleDegree) {
+  EXPECT_THROW(random_regular(6, 6, 1), Error);  // d >= n: no simple graph
 }
 
 TEST(Generators, PreferentialAttachmentShape) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -403,6 +404,123 @@ TEST(FormatDispatch, SaveGraphByExtensionRoundTrips) {
     const std::string path = dir + name;
     save_graph(path, g);
     EXPECT_TRUE(load_graph(path).coalesced().same_edges(g.coalesced())) << path;
+  }
+}
+
+// --- batched edge streams --------------------------------------------------
+
+namespace {
+
+bool bit_identical(const Graph& a, const Graph& b) {
+  if (a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges())
+    return false;
+  for (std::size_t i = 0; i < a.num_edges(); ++i)
+    if (!(a.edge(i) == b.edge(i))) return false;
+  return true;
+}
+
+Graph drain(EdgeStream& stream, std::size_t batch_edges) {
+  EdgeArena all;
+  all.resize(stream.num_vertices(), 0);
+  EdgeArena batch;
+  while (stream.next_batch(batch, batch_edges) > 0) all.append(batch.view());
+  return all.to_graph();
+}
+
+}  // namespace
+
+TEST(MemoryEdgeStream, ServesSlabsInOrderForEveryBatchSize) {
+  const Graph g = randomize_weights(connected_erdos_renyi(60, 0.15, 4), 2.0, 5);
+  EdgeArena arena(g);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{13}, g.num_edges()}) {
+    MemoryEdgeStream stream(arena.view());
+    EXPECT_EQ(stream.num_edges(), g.num_edges());
+    EXPECT_TRUE(bit_identical(drain(stream, batch), g)) << "batch " << batch;
+  }
+}
+
+TEST(TextEdgeStream, BatchesConcatenateToLoadEdgeList) {
+  const Graph g = randomize_weights(connected_erdos_renyi(80, 0.12, 9), 3.0, 10);
+  const std::string path = testing::TempDir() + "/spar_stream.txt";
+  save_edge_list(path, g);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{17}, std::size_t{256},
+                                  g.num_edges() * 2}) {
+    TextEdgeStream stream(path);
+    EXPECT_EQ(stream.num_vertices(), g.num_vertices());
+    EXPECT_EQ(stream.num_edges(), g.num_edges());
+    EXPECT_TRUE(bit_identical(drain(stream, batch), g)) << "batch " << batch;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TextEdgeStream, CommentsAndBlankLinesSkippedMidStream) {
+  const std::string path = testing::TempDir() + "/spar_stream_comments.txt";
+  {
+    std::ofstream out(path);
+    out << "# header comment\n4 3\n0 1 2.0\n\n# middle\n1 2\n   \n2 3 0.5\n";
+  }
+  TextEdgeStream stream(path);
+  const Graph g = drain(stream, 2);
+  ASSERT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.edge(1).w, 1.0);  // default weight survives batching
+  std::remove(path.c_str());
+}
+
+TEST(TextEdgeStream, TruncatedAndTrailingFilesDiagnosed) {
+  const std::string dir = testing::TempDir();
+  const std::string truncated = dir + "/spar_stream_trunc.txt";
+  {
+    std::ofstream out(truncated);
+    out << "4 5\n0 1\n1 2\n";
+  }
+  expect_error_containing(
+      [&] {
+        TextEdgeStream stream(truncated);
+        drain(stream, 2);
+      },
+      "truncated");
+  std::remove(truncated.c_str());
+
+  const std::string trailing = dir + "/spar_stream_trail.txt";
+  {
+    std::ofstream out(trailing);
+    out << "4 2\n0 1\n1 2\n2 3\n";
+  }
+  expect_error_containing(
+      [&] {
+        TextEdgeStream stream(trailing);
+        drain(stream, 2);
+      },
+      "trailing");
+  std::remove(trailing.c_str());
+}
+
+TEST(TextEdgeStream, BadRowsKeepRealLineNumbers) {
+  const std::string path = testing::TempDir() + "/spar_stream_badrow.txt";
+  {
+    std::ofstream out(path);
+    out << "# c\n4 4\n0 1\n1 2\n2 9\n3 0\n";  // line 5 is out of range
+  }
+  expect_error_containing(
+      [&] {
+        TextEdgeStream stream(path);
+        drain(stream, 2);  // the bad row lands in the second batch
+      },
+      "line 5");
+  std::remove(path.c_str());
+}
+
+TEST(OpenEdgeStream, DispatchesAllThreeFormats) {
+  const Graph g = randomize_weights(connected_erdos_renyi(40, 0.2, 7), 2.0, 8);
+  const std::string dir = testing::TempDir();
+  for (const char* name : {"/spar_open.txt", "/spar_open.spb", "/spar_open.mtx"}) {
+    const std::string path = dir + name;
+    save_graph(path, g);
+    const auto stream = open_edge_stream(path);
+    const Graph back = drain(*stream, 9);
+    // MatrixMarket canonicalizes to the coalesced simple graph.
+    EXPECT_TRUE(back.coalesced().same_edges(g.coalesced())) << path;
+    std::remove(path.c_str());
   }
 }
 

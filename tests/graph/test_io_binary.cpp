@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -12,6 +14,7 @@
 #include "graph/io.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
+#include "support/rng.hpp"
 
 namespace spar::graph {
 namespace {
@@ -187,6 +190,171 @@ TEST(BinaryIOCorruption, InvalidEdgesRejectedDespiteValidChecksum) {
   expect_error([&] { deserialize(write_bad(2, 2, 1.0)); }, "self-loop");
   expect_error([&] { deserialize(write_bad(0, 1, -1.0)); }, "positive");
   expect_error([&] { deserialize(write_bad(0, 1, std::nan(""))); }, "positive");
+}
+
+// --- fuzz-style hostile-input sweeps ---------------------------------------
+//
+// Every malformed byte stream must surface as a diagnosed spar::Error --
+// never a crash, a std::bad_alloc from trusting a hostile header, or a
+// silent wrong graph. The format has no don't-care bytes (header fields are
+// all checked, the payload is checksummed), so EVERY corruption must throw.
+
+TEST(BinaryIOFuzz, EveryTruncationLengthRejected) {
+  const std::string bytes = serialized(grid2d(4, 3));
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    EXPECT_THROW(deserialize(bytes.substr(0, len)), Error) << "prefix " << len;
+}
+
+TEST(BinaryIOFuzz, EverySingleByteCorruptionRejected) {
+  const std::string bytes = serialized(randomize_weights(grid2d(5, 4), 2.0, 3));
+  support::Rng rng(99);
+  for (std::size_t trial = 0; trial < 200; ++trial) {
+    std::string corrupt = bytes;
+    const auto at = static_cast<std::size_t>(rng.below(corrupt.size()));
+    const auto flip = static_cast<char>(1 + rng.below(255));  // guaranteed change
+    corrupt[at] = static_cast<char>(corrupt[at] ^ flip);
+    EXPECT_THROW(deserialize(corrupt), Error) << "byte " << at << " trial " << trial;
+  }
+}
+
+TEST(BinaryIOFuzz, RandomGarbageRejected) {
+  support::Rng rng(1234);
+  for (std::size_t trial = 0; trial < 100; ++trial) {
+    std::string junk(static_cast<std::size_t>(rng.below(4096)), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.below(256));
+    EXPECT_THROW(deserialize(junk), Error) << "trial " << trial;
+  }
+  EXPECT_THROW(deserialize(std::string(4096, '\0')), Error);
+  EXPECT_THROW(deserialize(std::string()), Error);
+}
+
+TEST(BinaryIOFuzz, AbsurdHeaderCountsRejectedWithoutAllocating) {
+  // Hostile n / m header fields must fail on the plausibility or
+  // length-consistency checks before the reader sizes any buffer: none of
+  // these may turn into a multi-terabyte allocation attempt.
+  const std::string bytes = serialized(grid2d(3, 3));
+  const auto patched = [&](std::size_t offset, std::uint64_t value) {
+    std::string out = bytes;
+    std::memcpy(out.data() + offset, &value, sizeof(value));
+    return out;
+  };
+  // n beyond 32-bit vertex ids (offset 16).
+  expect_error([&] { deserialize(patched(16, std::uint64_t{1} << 40)); }, "32-bit");
+  // m beyond the global plausibility cap (offset 24).
+  expect_error([&] { deserialize(patched(24, std::uint64_t{1} << 50)); }, "implausible");
+  expect_error([&] { deserialize(patched(24, ~std::uint64_t{0})); }, "implausible");
+  // m plausible but absurd vs the actual stream length.
+  expect_error([&] { deserialize(patched(24, std::uint64_t{1} << 36)); }, "stream length");
+  // m = 0 with payload still present.
+  expect_error([&] { deserialize(patched(24, 0)); }, "stream length");
+}
+
+// --- BinaryEdgeStream: the batched loader shares every validation ----------
+
+namespace {
+
+std::string temp_binary_file(const std::string& bytes, const char* name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return path;
+}
+
+Graph drain_stream(EdgeStream& stream, std::size_t batch_edges) {
+  EdgeArena all;
+  all.resize(stream.num_vertices(), 0);
+  EdgeArena batch;
+  while (stream.next_batch(batch, batch_edges) > 0) all.append(batch.view());
+  return all.to_graph();
+}
+
+}  // namespace
+
+TEST(BinaryEdgeStream, BatchesConcatenateToTheWholeGraph) {
+  const Graph g = randomize_weights(connected_erdos_renyi(150, 0.07, 11), 3.0, 12);
+  const std::string path = temp_binary_file(serialized(g), "stream_ok.spb");
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                                  g.num_edges(), g.num_edges() * 2}) {
+    BinaryEdgeStream stream(path);
+    EXPECT_EQ(stream.num_vertices(), g.num_vertices());
+    EXPECT_EQ(stream.num_edges(), g.num_edges());
+    EXPECT_TRUE(identical(drain_stream(stream, batch), g)) << "batch " << batch;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryEdgeStream, IncrementalChecksumCatchesPayloadCorruption) {
+  std::string bytes = serialized(grid2d(6, 6));
+  bytes[bytes.size() - 5] ^= 0x10;  // inside the last weight
+  const std::string path = temp_binary_file(bytes, "stream_corrupt.spb");
+  for (const std::size_t batch : {std::size_t{8}, std::size_t{1000}}) {
+    BinaryEdgeStream stream(path);
+    expect_error(
+        [&] {
+          EdgeArena out;
+          while (stream.next_batch(out, batch) > 0) {
+          }
+        },
+        "checksum");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryEdgeStream, EdgelessFileServesZeroBatchesAndChecksHeader) {
+  const std::string path = temp_binary_file(serialized(Graph(9)), "stream_empty.spb");
+  BinaryEdgeStream stream(path);
+  EXPECT_EQ(stream.num_vertices(), 9u);
+  EXPECT_EQ(stream.num_edges(), 0u);
+  EdgeArena out;
+  EXPECT_EQ(stream.next_batch(out, 16), 0u);
+  std::remove(path.c_str());
+
+  // A patched n in an edgeless file must still trip the (empty-payload)
+  // checksum, at construction time.
+  std::string bytes = serialized(Graph(9));
+  const std::uint64_t other_n = 5;
+  std::memcpy(bytes.data() + 16, &other_n, sizeof(other_n));
+  const std::string bad = temp_binary_file(bytes, "stream_empty_bad.spb");
+  expect_error([&] { BinaryEdgeStream stream2(bad); }, "checksum");
+  std::remove(bad.c_str());
+}
+
+TEST(BinaryEdgeStream, HostileHeaderRejectedAtOpen) {
+  std::string bytes = serialized(grid2d(4, 4));
+  const std::uint64_t huge = std::uint64_t{1} << 36;
+  std::memcpy(bytes.data() + 24, &huge, sizeof(huge));  // m field
+  const std::string path = temp_binary_file(bytes, "stream_hostile.spb");
+  expect_error([&] { BinaryEdgeStream stream(path); }, "stream length");
+  std::remove(path.c_str());
+
+  const std::string truncated =
+      temp_binary_file(serialized(grid2d(4, 4)).substr(0, 21), "stream_trunc.spb");
+  expect_error([&] { BinaryEdgeStream stream(truncated); }, "header");
+  std::remove(truncated.c_str());
+}
+
+TEST(BinaryEdgeStream, InvalidEdgesRejectedPerBatch) {
+  EdgeArena arena;
+  arena.resize(4, 2);
+  arena.mutable_u()[0] = 0;
+  arena.mutable_v()[0] = 1;
+  arena.weights()[0] = 1.0;
+  arena.mutable_u()[1] = 2;
+  arena.mutable_v()[1] = 2;  // self-loop, checksum still valid
+  arena.weights()[1] = 1.0;
+  std::stringstream buffer;
+  write_binary(buffer, arena.view());
+  const std::string path = temp_binary_file(buffer.str(), "stream_badedge.spb");
+  BinaryEdgeStream stream(path);
+  expect_error(
+      [&] {
+        EdgeArena out;
+        while (stream.next_batch(out, 1) > 0) {
+        }
+      },
+      "self-loop");
+  std::remove(path.c_str());
 }
 
 // --- cross-format round trips (the tentpole contract) ----------------------
