@@ -2,9 +2,15 @@
 //
 //   sparsify_tool <inputs...> [--method=koutis,ss] [--eps=0.5,1.0] [--rho=8,32]
 //                 [--t=3] [--keep=0.25] [--seed=1] [--json=report.json]
-//                 [--out=sparse.spb]
+//                 [--out=sparse.spb] [--solve-rhs=K]
 //   sparsify_tool <inputs...> --stream [--batch-edges=N] [--json=report.json]
 //   sparsify_tool --in=g.txt --convert=g.spb
+//
+// --solve-rhs=K solves the sparsifier's Laplacian against K random mean-free
+// right-hand sides in one batched chain-PCG call (solver/solve_sdd_multi) and
+// records iterations / achieved residual / wall time in the report and the
+// --json solver fields (solve_*). Skipped when the sparsifier is
+// disconnected.
 //
 // --stream runs the merge-and-reduce streaming driver (sparsify/stream.hpp):
 // file inputs are consumed through batched edge streams (never fully
@@ -31,6 +37,7 @@
 //          ss (Spielman-Srivastava), uniform (--keep), incremental (KMP-style).
 // Disconnected inputs are reduced to their largest component.
 // Exit: 0 ok, 1 error, 2 usage, 3 a sparsifier came out disconnected.
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -40,6 +47,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/subgraph.hpp"
+#include "solver/solver.hpp"
 #include "sparsify/baselines.hpp"
 #include "sparsify/incremental.hpp"
 #include "sparsify/quality.hpp"
@@ -47,6 +55,7 @@
 #include "sparsify/stream.hpp"
 #include "support/error.hpp"
 #include "support/options.hpp"
+#include "support/rng.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -147,6 +156,14 @@ struct RunRecord {
   sparsify::QualityReport report;
   bool stream = false;
   sparsify::StreamReport stream_report;
+  // --solve-rhs=K: batched Laplacian solve on the sparsifier (solver fields).
+  std::size_t solve_rhs = 0;
+  std::size_t solve_iters_max = 0;
+  double solve_residual_max = 0.0;
+  bool solve_converged = false;
+  double solve_ms = 0.0;
+  std::size_t solve_chain_levels = 0;
+  std::size_t solve_chain_nnz = 0;
 };
 
 void write_json(const std::string& path, const std::vector<RunRecord>& runs) {
@@ -182,6 +199,15 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs) {
           << ", \"stream_sparsify_calls\": " << s.sparsify_calls
           << ", \"stream_merge_edges\": " << s.metrics.merge_edges
           << ", \"stream_words_ingested\": " << s.metrics.words_ingested;
+    }
+    if (r.solve_rhs > 0) {
+      out << ", \"solve_rhs\": " << r.solve_rhs
+          << ", \"solve_iters_max\": " << r.solve_iters_max
+          << ", \"solve_residual_max\": " << r.solve_residual_max
+          << ", \"solve_converged\": " << (r.solve_converged ? "true" : "false")
+          << ", \"solve_ms\": " << r.solve_ms
+          << ", \"solve_chain_levels\": " << r.solve_chain_levels
+          << ", \"solve_chain_nnz\": " << r.solve_chain_nnz;
     }
     out << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
   }
@@ -243,6 +269,7 @@ int run(int argc, char** argv) {
         "usage: sparsify_tool <inputs...> [--method=koutis,ss] [--eps=0.5,1.0]\n"
         "                     [--rho=8,32] [--t=3] [--keep=0.25] [--seed=1]\n"
         "                     [--json=report.json] [--out=sparse.spb]\n"
+        "                     [--solve-rhs=K]\n"
         "       sparsify_tool <inputs...> --stream [--batch-edges=131072]\n"
         "       sparsify_tool --in=g.txt --convert=g.spb\n"
         "inputs: paths (.mtx/.mm, .spb/.bin, else edge list; content magic wins)\n"
@@ -264,6 +291,9 @@ int run(int argc, char** argv) {
       opt.get_int("batch-edges", std::int64_t{1} << 17);
   if (batch_edges_raw <= 0) throw Error("--batch-edges must be positive");
   const auto batch_edges = static_cast<std::size_t>(batch_edges_raw);
+  const std::int64_t solve_rhs_raw = opt.get_int("solve-rhs", 0);
+  if (solve_rhs_raw < 0) throw Error("--solve-rhs must be nonnegative");
+  const auto solve_rhs = static_cast<std::size_t>(solve_rhs_raw);
   const std::string json_path = opt.get("json", "");
   const std::string out_path = opt.get("out", "");
   const std::string convert_path = opt.get("convert", "");
@@ -378,6 +408,55 @@ int run(int argc, char** argv) {
                 s.per_level_epsilon);
           }
           all_connected = all_connected && q.sparsifier_connected;
+          if (solve_rhs > 0 && q.sparsifier_connected) try {
+            // Solver fields: batched chain-PCG Laplacian solve on the
+            // sparsifier for K random mean-free right-hand sides, chain built
+            // once (solve_sdd_multi). Demonstrates the downstream use of the
+            // sparsifier and reports solve cost next to the quality numbers.
+            std::vector<linalg::Vector> cols;
+            for (std::size_t j = 0; j < solve_rhs; ++j) {
+              support::Rng rng(support::mix64(seed, 0x501feULL + j));
+              linalg::Vector b(sparse.num_vertices());
+              for (double& v : b) v = rng.normal();
+              linalg::remove_mean(b);
+              cols.push_back(std::move(b));
+            }
+            const solver::SDDMatrix sm{graph::Graph(sparse)};
+            solver::SolveOptions solve_opt;
+            solve_opt.chain.max_levels = 10;
+            solve_opt.chain.rho = 8.0;
+            solve_opt.chain.t = 1;
+            solve_opt.chain.seed = seed;
+            support::Timer solve_timer;
+            const auto solve =
+                solver::solve_sdd_multi(sm, linalg::MultiVector::from_columns(cols),
+                                        solve_opt);
+            rec.solve_ms = solve_timer.millis();
+            rec.solve_rhs = solve_rhs;
+            rec.solve_converged = solve.all_converged();
+            rec.solve_chain_levels = solve.chain_levels;
+            rec.solve_chain_nnz = solve.chain_total_nnz;
+            for (const auto& col : solve.columns) {
+              rec.solve_iters_max = std::max(rec.solve_iters_max, col.iterations);
+              rec.solve_residual_max =
+                  std::max(rec.solve_residual_max, col.relative_residual);
+            }
+            std::printf(
+                "    solve: %zu rhs batched in %.1f ms, <=%zu iterations, "
+                "max residual %.2e, chain %zu levels / %zu nnz%s\n",
+                rec.solve_rhs, rec.solve_ms, rec.solve_iters_max,
+                rec.solve_residual_max, rec.solve_chain_levels, rec.solve_chain_nnz,
+                rec.solve_converged ? "" : " (NOT CONVERGED)");
+          } catch (const std::exception& err) {
+            // Chain construction can legitimately fail on degenerate inputs
+            // (e.g. squaring a tiny cycle empties a level's diagonal). One
+            // cell's solve must not kill the whole batch: drop the solver
+            // fields for this cell and keep going.
+            rec.solve_rhs = 0;
+            std::printf("    solve: failed (%s)\n", err.what());
+          } else if (solve_rhs > 0) {
+            std::printf("    solve: skipped (sparsifier disconnected)\n");
+          }
           records.push_back(std::move(rec));
           if (!out_path.empty()) {
             graph::save_graph(out_path, sparse);

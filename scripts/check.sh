@@ -58,3 +58,13 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # -- SPARBIN corruption sweeps, the quality_report matrix, the streaming
 # golden hash -- already ran above under ctest.)
 "$build_dir/bench/bench_stream" --quick=1
+
+# Batched-solve smoke: bench_multi_rhs exits nonzero if the batched
+# solve_sdd_multi solutions are not bit-identical to the per-RHS solve_sdd
+# loop, or any solve misses tolerance, or the effective-resistance sketch
+# changes with its block size.
+"$build_dir/bench/bench_multi_rhs" --quick=1
+
+# Documentation gates: undocumented public symbols in src/solver and
+# src/resistance, and broken relative links in the top-level markdown.
+scripts/check_docs.sh

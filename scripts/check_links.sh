@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Relative-link checker for the top-level markdown docs. Every [text](target)
+# whose target is not an URL or a pure #anchor must resolve to an existing
+# file (anchors within existing files are stripped, not verified). Run from
+# anywhere; operates on the repo root. Exit 1 on the first broken link so the
+# docs cannot rot silently (CI docs job + scripts/check.sh).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+docs=(README.md DESIGN.md BUILDING.md ROADMAP.md PAPER.md PAPERS.md)
+status=0
+
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || { echo "MISSING DOC: $doc" >&2; status=1; continue; }
+  # Extract (target) parts of markdown links. grep -o keeps one match per
+  # line occurrence, so multiple links per line are all checked.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"           # strip anchor
+    [ -n "$path" ] || continue
+    if [ ! -e "$path" ]; then
+      echo "BROKEN LINK in $doc: ($target) -> $path does not exist" >&2
+      status=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*](\([^)]*\))/\1/')
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_links: all relative links in ${docs[*]} resolve"
+fi
+exit "$status"

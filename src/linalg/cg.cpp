@@ -1,5 +1,6 @@
 #include "linalg/cg.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/assert.hpp"
@@ -77,6 +78,148 @@ CGReport cg_impl(const LinearOperator& a, const LinearOperator* m_inverse,
   return report;
 }
 
+// Blocked CG skeleton: cg_impl run on k columns in lockstep. Per-column
+// reductions go through the fused column_* kernels, whose chunking and
+// combine order replicate the single-vector vector_ops primitives bit for
+// bit; every update replicates cg_impl's expression and order. Columns
+// freeze (convergence mask) exactly where the single-RHS loop would have
+// exited; frozen columns still ride along in the blocked operator
+// applications (their output is simply never read) -- that is what lets A
+// and the preconditioner traverse their sparse structure once per iteration
+// for the whole block.
+BlockCGReport blocked_cg_impl(const BlockOperator& a, const BlockOperator* m_inverse,
+                              const MultiVector& b, MultiVector& x,
+                              const CGOptions& options) {
+  namespace par = support::par;
+  const std::size_t n = a.dim;
+  const std::size_t k = b.cols();
+  SPAR_CHECK(b.rows() == n && x.rows() == n && x.cols() == k,
+             "blocked cg: size mismatch");
+  BlockCGReport report;
+  report.columns.resize(k);
+  if (k == 0) return report;
+
+  MultiVector rhs = b;
+  if (options.project_constant) remove_mean_columns(rhs);
+  const Vector b_norm = column_norms(rhs);
+  std::vector<std::uint8_t> active(k, 1);
+  for (std::size_t j = 0; j < k; ++j) {
+    if (b_norm[j] == 0.0) {
+      for (std::size_t i = 0; i < n; ++i) x.at(i, j) = 0.0;
+      report.columns[j].converged = true;
+      active[j] = 0;
+    }
+  }
+  const auto none_active = [&] {
+    for (std::uint8_t a_j : active)
+      if (a_j) return false;
+    return true;
+  };
+  if (none_active()) return report;
+
+  // Masked elementwise sweep: f(row pointer pairs) applied to active columns
+  // only (i-outer, j-inner: one contiguous pass over the interleaved block).
+  const auto masked_rows = [&](std::span<const std::uint8_t> mask, auto&& f) {
+    par::parallel_for(
+        0, static_cast<std::int64_t>(n),
+        [&](std::int64_t i) { f(static_cast<std::size_t>(i), mask); },
+        {.enable = n > (1u << 14)});
+  };
+
+  MultiVector r(n, k), z(n, k), p(n, k), ap(n, k);
+  if (options.project_constant) remove_mean_columns(x);
+  a.apply(x, ap);
+  ++report.block_applies;
+  masked_rows(active, [&](std::size_t i, std::span<const std::uint8_t> mask) {
+    for (std::size_t j = 0; j < k; ++j)
+      if (mask[j]) r.at(i, j) = rhs.at(i, j) - ap.at(i, j);
+  });
+  if (options.project_constant) remove_mean_columns(r, active);
+
+  const auto apply_precond = [&] {
+    if (m_inverse != nullptr) {
+      m_inverse->apply(r, z);
+      if (options.project_constant) remove_mean_columns(z, active);
+    } else {
+      masked_rows(active, [&](std::size_t i, std::span<const std::uint8_t> mask) {
+        for (std::size_t j = 0; j < k; ++j)
+          if (mask[j]) z.at(i, j) = r.at(i, j);
+      });
+    }
+  };
+
+  apply_precond();
+  masked_rows(active, [&](std::size_t i, std::span<const std::uint8_t> mask) {
+    for (std::size_t j = 0; j < k; ++j)
+      if (mask[j]) p.at(i, j) = z.at(i, j);
+  });
+  Vector rz = column_dots(r, z);
+
+  Vector alpha(k, 0.0), neg_alpha(k, 0.0), beta(k, 0.0);
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    const Vector r_norms = column_norms(r);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!active[j]) continue;
+      report.columns[j].relative_residual = r_norms[j] / b_norm[j];
+      if (report.columns[j].relative_residual <= options.tolerance) {
+        report.columns[j].converged = true;
+        active[j] = 0;  // freeze: exactly where the single-RHS loop returns
+      }
+    }
+    if (none_active()) break;
+    a.apply(p, ap);
+    ++report.block_applies;
+    if (options.project_constant) remove_mean_columns(ap, active);
+    const Vector p_ap = column_dots(p, ap);
+    // `advance` = columns that run this iteration's updates; a column whose
+    // search direction is not PD-positive stalls here, exactly where the
+    // single-RHS loop breaks and re-derives convergence from the untouched
+    // residual.
+    std::vector<std::uint8_t> advance = active;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!active[j]) continue;
+      if (p_ap[j] <= 0.0) {
+        report.columns[j].converged =
+            report.columns[j].relative_residual <= options.tolerance;
+        active[j] = 0;
+        advance[j] = 0;
+        continue;
+      }
+      alpha[j] = rz[j] / p_ap[j];
+      neg_alpha[j] = -alpha[j];
+    }
+    if (none_active()) break;
+    column_axpy(alpha, p, x, advance);
+    column_axpy(neg_alpha, ap, r, advance);
+    if (options.project_constant) remove_mean_columns(r, advance);
+    apply_precond();
+    const Vector rz_next = column_dots(r, z);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!advance[j]) continue;
+      beta[j] = rz_next[j] / rz[j];
+      rz[j] = rz_next[j];
+    }
+    masked_rows(advance, [&](std::size_t i, std::span<const std::uint8_t> mask) {
+      for (std::size_t j = 0; j < k; ++j)
+        if (mask[j]) p.at(i, j) = z.at(i, j) + beta[j] * p.at(i, j);
+    });
+    for (std::size_t j = 0; j < k; ++j)
+      if (advance[j]) report.columns[j].iterations = it + 1;
+  }
+  {
+    const Vector r_norms = column_norms(r);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!active[j]) continue;  // ran out of iterations with this column live
+      report.columns[j].relative_residual = r_norms[j] / b_norm[j];
+      report.columns[j].converged =
+          report.columns[j].relative_residual <= options.tolerance;
+    }
+  }
+  for (const BlockColumnStats& c : report.columns)
+    report.iterations = std::max(report.iterations, c.iterations);
+  return report;
+}
+
 }  // namespace
 
 CGReport conjugate_gradient(const LinearOperator& a, std::span<const double> b,
@@ -88,6 +231,17 @@ CGReport preconditioned_cg(const LinearOperator& a, const LinearOperator& m_inve
                            std::span<const double> b, std::span<double> x,
                            const CGOptions& options) {
   return cg_impl(a, &m_inverse, b, x, options);
+}
+
+BlockCGReport blocked_conjugate_gradient(const BlockOperator& a, const MultiVector& b,
+                                         MultiVector& x, const CGOptions& options) {
+  return blocked_cg_impl(a, nullptr, b, x, options);
+}
+
+BlockCGReport blocked_pcg(const BlockOperator& a, const BlockOperator& m_inverse,
+                          const MultiVector& b, MultiVector& x,
+                          const CGOptions& options) {
+  return blocked_cg_impl(a, &m_inverse, b, x, options);
 }
 
 }  // namespace spar::linalg

@@ -38,4 +38,39 @@ CGReport preconditioned_cg(const LinearOperator& a, const LinearOperator& m_inve
                            std::span<const double> b, std::span<double> x,
                            const CGOptions& options = {});
 
+/// Per-column outcome of a blocked solve (mirrors CGReport).
+struct BlockColumnStats {
+  std::size_t iterations = 0;        ///< CG iterations this column ran
+  double relative_residual = 0.0;    ///< ||r_j|| / ||b_j|| at stop
+  bool converged = false;            ///< residual <= tolerance
+};
+
+/// Outcome of a blocked multi-RHS solve.
+struct BlockCGReport {
+  std::vector<BlockColumnStats> columns;  ///< one entry per right-hand side
+  std::size_t iterations = 0;             ///< block iterations = max over columns
+  std::uint64_t block_applies = 0;        ///< blocked operator applications of A
+  /// True when every column converged.
+  bool all_converged() const {
+    for (const BlockColumnStats& c : columns)
+      if (!c.converged) return false;
+    return !columns.empty();
+  }
+};
+
+/// Blocked CG: solves A x_j = b_j for every column j in lockstep, sharing
+/// each operator traversal across columns. Columns that converge are frozen
+/// (per-column convergence masking), so each column's iterate sequence -- and
+/// final solution, bit for bit -- matches a single-RHS conjugate_gradient run
+/// on that column. `x` carries initial guesses on entry, solutions on exit.
+BlockCGReport blocked_conjugate_gradient(const BlockOperator& a, const MultiVector& b,
+                                         MultiVector& x, const CGOptions& options = {});
+
+/// Blocked preconditioned CG; `m_inverse` applies the (blocked)
+/// preconditioner to every column. Same masking and bit-identity contract as
+/// blocked_conjugate_gradient, relative to preconditioned_cg.
+BlockCGReport blocked_pcg(const BlockOperator& a, const BlockOperator& m_inverse,
+                          const MultiVector& b, MultiVector& x,
+                          const CGOptions& options = {});
+
 }  // namespace spar::linalg

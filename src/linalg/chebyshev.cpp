@@ -58,4 +58,87 @@ ChebyshevReport chebyshev_solve(const LinearOperator& a, std::span<const double>
   return report;
 }
 
+std::vector<ChebyshevReport> chebyshev_solve(const BlockOperator& a,
+                                             const MultiVector& b, MultiVector& x,
+                                             const ChebyshevOptions& options) {
+  const std::size_t n = a.dim;
+  const std::size_t k = b.cols();
+  SPAR_CHECK(b.rows() == n && x.rows() == n && x.cols() == k,
+             "chebyshev_solve: block size mismatch");
+  SPAR_CHECK(options.lambda_min > 0.0 && options.lambda_max >= options.lambda_min,
+             "chebyshev_solve: need 0 < lambda_min <= lambda_max");
+  std::vector<ChebyshevReport> reports(k);
+  if (k == 0) return reports;
+
+  const double center = 0.5 * (options.lambda_max + options.lambda_min);
+  const double half_width = 0.5 * (options.lambda_max - options.lambda_min);
+
+  MultiVector rhs = b;
+  if (options.project_constant) remove_mean_columns(rhs);
+  const Vector b_norm = column_norms(rhs);
+  std::vector<std::uint8_t> active(k, 1);
+  bool any_active = false;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (b_norm[j] == 0.0) {
+      for (std::size_t i = 0; i < n; ++i) x.at(i, j) = 0.0;
+      active[j] = 0;  // zero rhs: the single-RHS path returns x = 0 here
+    } else {
+      any_active = true;
+    }
+  }
+  if (!any_active) return reports;
+
+  // Masked elementwise sweep over the interleaved block (i-outer, j-inner).
+  const auto masked_rows = [&](auto&& f) {
+    support::par::parallel_for(
+        0, static_cast<std::int64_t>(n),
+        [&](std::int64_t i) { f(static_cast<std::size_t>(i)); },
+        {.enable = n > (1u << 14)});
+  };
+
+  MultiVector r(n, k), p(n, k), ap(n, k);
+  if (options.project_constant) remove_mean_columns(x);
+  a.apply(x, ap);
+  masked_rows([&](std::size_t i) {
+    for (std::size_t j = 0; j < k; ++j)
+      if (active[j]) r.at(i, j) = rhs.at(i, j) - ap.at(i, j);
+  });
+  if (options.project_constant) remove_mean_columns(r, active);
+
+  Vector alphas(k, 0.0), neg_alphas(k, 0.0);
+  double alpha = 0.0;
+  double beta = 0.0;
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    if (it == 0) {
+      masked_rows([&](std::size_t i) {
+        for (std::size_t j = 0; j < k; ++j)
+          if (active[j]) p.at(i, j) = r.at(i, j);
+      });
+      alpha = 1.0 / center;
+    } else {
+      const double half_alpha = half_width * alpha / 2.0;
+      beta = half_alpha * half_alpha;
+      alpha = 1.0 / (center - beta / alpha);
+      masked_rows([&](std::size_t i) {
+        for (std::size_t j = 0; j < k; ++j)
+          if (active[j]) p.at(i, j) = r.at(i, j) + beta * p.at(i, j);
+      });
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      alphas[j] = alpha;
+      neg_alphas[j] = -alpha;
+    }
+    column_axpy(alphas, p, x, active);
+    a.apply(p, ap);
+    if (options.project_constant) remove_mean_columns(ap, active);
+    column_axpy(neg_alphas, ap, r, active);
+    for (std::size_t j = 0; j < k; ++j)
+      if (active[j]) ++reports[j].iterations;
+  }
+  const Vector r_norms = column_norms(r);
+  for (std::size_t j = 0; j < k; ++j)
+    if (active[j]) reports[j].relative_residual = r_norms[j] / b_norm[j];
+  return reports;
+}
+
 }  // namespace spar::linalg

@@ -29,4 +29,12 @@ struct ChebyshevReport {
 ChebyshevReport chebyshev_solve(const LinearOperator& a, std::span<const double> b,
                                 std::span<double> x, const ChebyshevOptions& options);
 
+/// Blocked multi-RHS Chebyshev: every column advances through the same
+/// three-term recurrence (the coefficients are data-independent, so they are
+/// shared), with each blocked operator application serving all columns. Per
+/// column the result is bit-identical to a single-vector chebyshev_solve.
+std::vector<ChebyshevReport> chebyshev_solve(const BlockOperator& a,
+                                             const MultiVector& b, MultiVector& x,
+                                             const ChebyshevOptions& options);
+
 }  // namespace spar::linalg

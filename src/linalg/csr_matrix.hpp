@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "linalg/multivector.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace spar::linalg {
@@ -42,6 +43,13 @@ class CSRMatrix {
   /// y = A x  (OpenMP over rows).
   void multiply(std::span<const double> x, std::span<double> y) const;
   Vector multiply(std::span<const double> x) const;
+
+  /// Y = A X, blocked: one traversal of the CSR structure applies A to every
+  /// column (the matrix data is streamed once instead of X.cols() times --
+  /// the batched-solve hot path). Per column the row accumulation order is
+  /// exactly multiply()'s, so each output column is bit-identical to a
+  /// single-vector multiply of that column.
+  void multiply(const MultiVector& x, MultiVector& y) const;
 
   /// y = A x + beta * y
   void multiply_add(std::span<const double> x, std::span<double> y, double beta) const;

@@ -1,0 +1,150 @@
+#include "linalg/multivector.hpp"
+
+#include <cmath>
+
+#include "linalg/operator.hpp"
+#include "support/assert.hpp"
+#include "support/parallel.hpp"
+
+namespace spar::linalg {
+
+namespace {
+// Mirrors vector_ops.cpp's threshold so the fused reductions enable
+// parallelism exactly where the single-vector primitives do (chunk
+// boundaries, and therefore bits, must match).
+constexpr std::int64_t kParThreshold = 1 << 14;
+
+namespace par = support::par;
+
+// Fused per-column reduction: map_row(i, partial[k]) accumulates row i into
+// the per-column partials. Chunking and the ascending-chunk combine replicate
+// par::parallel_sum over [0, rows) per column, so each out[j] is bit-identical
+// to the scalar reduction on column j alone.
+template <typename MapRow>
+Vector column_reduce(std::size_t rows, std::size_t cols, MapRow&& map_row) {
+  const auto n = static_cast<std::int64_t>(rows);
+  return par::parallel_reduce<Vector>(
+      0, n, Vector(cols, 0.0),
+      [&](std::int64_t cb, std::int64_t ce) {
+        Vector partial(cols, 0.0);
+        for (std::int64_t i = cb; i < ce; ++i) map_row(static_cast<std::size_t>(i), partial);
+        return partial;
+      },
+      [](Vector acc, const Vector& p) {
+        for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += p[j];
+        return acc;
+      },
+      {.enable = n >= kParThreshold});
+}
+
+}  // namespace
+
+MultiVector MultiVector::from_columns(std::span<const Vector> columns) {
+  MultiVector out;
+  if (columns.empty()) return out;
+  const std::size_t n = columns.front().size();
+  out = MultiVector(n, columns.size());
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    SPAR_CHECK(columns[j].size() == n, "MultiVector::from_columns: ragged columns");
+    out.set_column(j, columns[j]);
+  }
+  return out;
+}
+
+Vector MultiVector::column_copy(std::size_t j) const {
+  Vector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = at(i, j);
+  return out;
+}
+
+void MultiVector::set_column(std::size_t j, std::span<const double> values) {
+  SPAR_CHECK(values.size() == rows_, "MultiVector::set_column: size mismatch");
+  for (std::size_t i = 0; i < rows_; ++i) at(i, j) = values[i];
+}
+
+void MultiVector::fill_all(double value) { fill(data_, value); }
+
+Vector column_dots(const MultiVector& a, const MultiVector& b) {
+  SPAR_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "column_dots: shape mismatch");
+  const std::size_t k = a.cols();
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  return column_reduce(a.rows(), k, [&](std::size_t i, Vector& partial) {
+    const double* ra = pa + i * k;
+    const double* rb = pb + i * k;
+    for (std::size_t j = 0; j < k; ++j) partial[j] += ra[j] * rb[j];
+  });
+}
+
+Vector column_norms(const MultiVector& a) {
+  Vector out = column_dots(a, a);
+  for (double& v : out) v = std::sqrt(v);
+  return out;
+}
+
+Vector column_means(const MultiVector& x) {
+  const std::size_t k = x.cols();
+  if (x.rows() == 0) return Vector(k, 0.0);
+  const double* px = x.data().data();
+  Vector out = column_reduce(x.rows(), k, [&](std::size_t i, Vector& partial) {
+    const double* rx = px + i * k;
+    for (std::size_t j = 0; j < k; ++j) partial[j] += rx[j];
+  });
+  for (double& v : out) v /= static_cast<double>(x.rows());
+  return out;
+}
+
+void remove_mean_columns(MultiVector& x, std::span<const std::uint8_t> mask) {
+  SPAR_CHECK(mask.empty() || mask.size() == x.cols(),
+             "remove_mean_columns: mask size mismatch");
+  const Vector means = column_means(x);
+  const auto n = static_cast<std::int64_t>(x.rows());
+  const std::size_t k = x.cols();
+  double* px = x.data().data();
+  par::parallel_for(
+      0, n,
+      [&](std::int64_t i) {
+        double* row = px + static_cast<std::size_t>(i) * k;
+        for (std::size_t j = 0; j < k; ++j)
+          if (mask.empty() || mask[j]) row[j] -= means[j];
+      },
+      {.enable = n >= kParThreshold});
+}
+
+void column_axpy(std::span<const double> alpha, const MultiVector& x, MultiVector& y,
+                 std::span<const std::uint8_t> mask) {
+  SPAR_CHECK(x.rows() == y.rows() && x.cols() == y.cols() &&
+                 alpha.size() == x.cols() && (mask.empty() || mask.size() == x.cols()),
+             "column_axpy: shape mismatch");
+  const auto n = static_cast<std::int64_t>(x.rows());
+  const std::size_t k = x.cols();
+  const double* px = x.data().data();
+  double* py = y.data().data();
+  par::parallel_for(
+      0, n,
+      [&](std::int64_t i) {
+        const double* rx = px + static_cast<std::size_t>(i) * k;
+        double* ry = py + static_cast<std::size_t>(i) * k;
+        for (std::size_t j = 0; j < k; ++j)
+          if (mask.empty() || mask[j]) ry[j] += alpha[j] * rx[j];
+      },
+      {.enable = n >= kParThreshold});
+}
+
+BlockOperator column_block_operator(const LinearOperator& op) {
+  // Captures the LinearOperator by value: the returned BlockOperator owns its
+  // copy and stays valid after the argument goes out of scope. Columns round
+  // trip through contiguous buffers, so per-column results are exactly the
+  // wrapped operator's.
+  return {op.dim, [op](const MultiVector& x, MultiVector& y) {
+            Vector in(x.rows()), out(x.rows());
+            for (std::size_t j = 0; j < x.cols(); ++j) {
+              for (std::size_t i = 0; i < x.rows(); ++i) in[i] = x.at(i, j);
+              op.apply(in, out);
+              y.set_column(j, out);
+            }
+          }};
+}
+
+}  // namespace spar::linalg

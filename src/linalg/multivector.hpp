@@ -1,0 +1,90 @@
+// Column-blocked dense multi-vector: k vectors of dimension n stored as one
+// contiguous row-interleaved buffer -- entry (i, j) lives at data[i*k + j],
+// so a row holds all k columns adjacently. This is the substrate of the
+// batched multi-RHS solve path: blocked SpMV kernels traverse a sparse
+// matrix ONCE and, per nonzero, one cache line of x serves every column --
+// the layout that turns k memory-bound passes into one (column-major blocks
+// would gather k independent streams and lose the win again).
+//
+// Determinism contract: every per-column reduction below (dot, norm, mean)
+// is computed with the SAME chunk boundaries and chunk-order combine as the
+// single-vector vector_ops primitive -- the fused kernels accumulate one
+// partial per column per chunk and combine per column in ascending chunk
+// order. A blocked solve's column j is therefore bit-identical to a
+// single-RHS solve of that column, at any thread count
+// (tests/solver/test_multi_rhs.cpp pins it).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace spar::linalg {
+
+class MultiVector {
+ public:
+  MultiVector() = default;
+
+  /// n-by-k block, every entry set to `value`.
+  MultiVector(std::size_t rows, std::size_t cols, double value = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  /// Deep copy of `cols` equally sized vectors into a block.
+  static MultiVector from_columns(std::span<const Vector> columns);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Entry (i, j); unchecked hot-path accessor (row-interleaved layout).
+  double& at(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  double at(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+
+  /// Row i: the k column values of entry i, contiguous.
+  std::span<double> row(std::size_t i) { return {data_.data() + i * cols_, cols_}; }
+  std::span<const double> row(std::size_t i) const {
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  /// Column j copied out as an owning contiguous Vector.
+  Vector column_copy(std::size_t j) const;
+
+  /// Overwrites column j from a contiguous vector.
+  void set_column(std::size_t j, std::span<const double> values);
+
+  /// The whole buffer (row-interleaved, size rows*cols).
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  /// Sets every entry of every column to `value`.
+  void fill_all(double value);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Per-column dot products in ONE fused pass: out[j] = dot(col_j(a),
+/// col_j(b)), bit-identical to linalg::dot on contiguous copies of the
+/// columns (same chunking, same combine order).
+Vector column_dots(const MultiVector& a, const MultiVector& b);
+
+/// Per-column Euclidean norms (sqrt of the fused dots, matching norm2).
+Vector column_norms(const MultiVector& a);
+
+/// Per-column means, fused; bit-identical to linalg::mean per column.
+Vector column_means(const MultiVector& x);
+
+/// Per-column mean removal (projection onto range(L) for connected
+/// Laplacians), identical to remove_mean on a contiguous copy of each
+/// column. `mask` selects columns (empty = all).
+void remove_mean_columns(MultiVector& x, std::span<const std::uint8_t> mask = {});
+
+/// y.column(j) += alpha[j] * x.column(j) for every j with mask[j] nonzero
+/// (mask may be empty = all columns).
+void column_axpy(std::span<const double> alpha, const MultiVector& x,
+                 MultiVector& y, std::span<const std::uint8_t> mask = {});
+
+}  // namespace spar::linalg

@@ -1,5 +1,6 @@
 #include "resistance/effective_resistance.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "graph/csr.hpp"
@@ -55,42 +56,64 @@ Vector approx_effective_resistances(const Graph& g,
           : static_cast<std::size_t>(std::ceil(
                 8.0 * std::log(static_cast<double>(n)) /
                 (options.epsilon * options.epsilon)));
+  const std::size_t block_size = options.block_size != 0 ? options.block_size : 16;
 
-  const linalg::LaplacianOperator lap(g);
-  const linalg::LinearOperator op{
-      n, [&lap](std::span<const double> x, std::span<double> y) { lap.apply(x, y); }};
+  // The JL sketch is an inherently multi-RHS workload: every probe is one
+  // Laplacian solve against the same operator. Solving them in blocks through
+  // blocked CG streams the Laplacian once per iteration for the whole block
+  // instead of once per probe. The explicit CSR form feeds the blocked
+  // kernel; row accumulation is deterministic, so the sketch is bit-identical
+  // across thread counts AND across block sizes (each probe's solve is the
+  // same column recurrence wherever it lands).
+  const linalg::CSRMatrix lap = linalg::laplacian_matrix(g);
+  const linalg::BlockOperator op{
+      n, [&lap](const linalg::MultiVector& x, linalg::MultiVector& y) {
+        lap.multiply(x, y);
+      }};
 
   // R_e ~ sum_i (z_i[u] - z_i[v])^2 where z_i = pinv(L) B^T W^{1/2} q_i and
   // q_i has +-1/sqrt(probes) entries, one per edge.
   Vector r(edges.size(), 0.0);
-  Vector rhs(n), z(n);
   const double scale = 1.0 / std::sqrt(static_cast<double>(probes));
-  for (std::size_t probe = 0; probe < probes; ++probe) {
-    // rhs = B^T W^{1/2} q: accumulate +-sqrt(w_e) at the endpoints.
-    linalg::fill(rhs, 0.0);
-    for (std::size_t eidx = 0; eidx < edges.size(); ++eidx) {
-      const double sign =
-          support::stream_uniform(options.seed,
-                                  support::mix64(probe, eidx)) < 0.5
-              ? -1.0
-              : 1.0;
-      const double val = sign * scale * std::sqrt(edges[eidx].w);
-      rhs[edges[eidx].u] += val;
-      rhs[edges[eidx].v] -= val;
-    }
-    linalg::fill(z, 0.0);
+  for (std::size_t base = 0; base < probes; base += block_size) {
+    const std::size_t width = std::min(block_size, probes - base);
+    linalg::MultiVector rhs(n, width, 0.0), z(n, width, 0.0);
+    // rhs_j = B^T W^{1/2} q_{base+j}: accumulate +-sqrt(w_e) at the
+    // endpoints. Columns are independent, so they fill in parallel; each
+    // column's serial edge loop keeps its accumulation order fixed.
+    support::par::parallel_for(
+        0, static_cast<std::int64_t>(width),
+        [&](std::int64_t jj) {
+          const std::size_t j = static_cast<std::size_t>(jj);
+          const std::size_t probe = base + j;
+          for (std::size_t eidx = 0; eidx < edges.size(); ++eidx) {
+            const double sign =
+                support::stream_uniform(options.seed,
+                                        support::mix64(probe, eidx)) < 0.5
+                    ? -1.0
+                    : 1.0;
+            const double val = sign * scale * std::sqrt(edges[eidx].w);
+            rhs.at(edges[eidx].u, j) += val;
+            rhs.at(edges[eidx].v, j) -= val;
+          }
+        },
+        {.enable = width > 1});
     linalg::CGOptions cg;
     cg.tolerance = options.cg_tolerance;
     cg.max_iterations = options.cg_max_iterations;
     cg.project_constant = true;
-    linalg::conjugate_gradient(op, rhs, z, cg);
-    support::par::parallel_for(
-        0, static_cast<std::int64_t>(edges.size()),
-        [&](std::int64_t eidx) {
-          const double d = z[edges[eidx].u] - z[edges[eidx].v];
-          r[eidx] += d * d;
-        },
-        {.enable = edges.size() > (1u << 15)});
+    linalg::blocked_conjugate_gradient(op, rhs, z, cg);
+    // Accumulate in ascending probe order (the block loop preserves it), so
+    // the sum over probes is order-stable for any block size.
+    for (std::size_t j = 0; j < width; ++j) {
+      support::par::parallel_for(
+          0, static_cast<std::int64_t>(edges.size()),
+          [&](std::int64_t eidx) {
+            const double d = z.at(edges[eidx].u, j) - z.at(edges[eidx].v, j);
+            r[eidx] += d * d;
+          },
+          {.enable = edges.size() > (1u << 15)});
+    }
   }
   return r;
 }

@@ -33,17 +33,25 @@ double exact_effective_resistance(const graph::Graph& g, graph::Vertex u,
 /// Dense pinv(L_G); exposed because the spectral certifier reuses it.
 linalg::DenseMatrix laplacian_pinv(const graph::Graph& g);
 
+/// Knobs of the Spielman-Srivastava JL estimator.
 struct ApproxResistanceOptions {
   double epsilon = 0.3;        ///< JL distortion target
-  std::uint64_t seed = 7;
-  double cg_tolerance = 1e-7;
-  std::size_t cg_max_iterations = 4000;
+  std::uint64_t seed = 7;      ///< seed of the +-1 projection coins
+  double cg_tolerance = 1e-7;  ///< relative residual per Laplacian solve
+  std::size_t cg_max_iterations = 4000;  ///< iteration cap per solve
   /// Number of random projections; 0 = auto: ceil(8 log n / eps^2).
   std::size_t num_probes = 0;
+  /// Probes solved per blocked CG call (the JL sketch is a multi-RHS solve;
+  /// batching shares each Laplacian traversal across the block). 0 = auto
+  /// (16). The result is independent of the block size: each probe's solve is
+  /// bit-identical whatever block it lands in.
+  std::size_t block_size = 0;
 };
 
 /// Spielman-Srivastava approximate effective resistances for every edge.
-/// Expected multiplicative error (1 +- eps) per edge w.h.p.
+/// Expected multiplicative error (1 +- eps) per edge w.h.p. The O(log n /
+/// eps^2) probe solves run through the batched blocked-CG path in blocks of
+/// `block_size` columns.
 linalg::Vector approx_effective_resistances(const graph::Graph& g,
                                             const ApproxResistanceOptions& options = {});
 

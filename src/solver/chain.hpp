@@ -23,6 +23,8 @@
 
 namespace spar::solver {
 
+/// Smoother used on the last chain level (where gamma is small enough that a
+/// few sweeps solve the remaining system).
 enum class TailSmoother {
   kJacobi,     ///< damped Jacobi sweeps (no setup, gamma-rate convergence)
   kChebyshev,  ///< Chebyshev semi-iteration with Lanczos-estimated bounds;
@@ -40,21 +42,24 @@ struct ChainOptions {
   /// Sparsify a level only when its graph part has more than
   /// edge_factor * n edges (the "threshold of applicability" m').
   double edge_factor = 4.0;
+  /// Hard cap on chain depth (singular Laplacians terminate here: their
+  /// gamma never decays).
   std::size_t max_levels = 24;
   /// Stop when adjacency dominance gamma = max_i rowsum(A)/D drops below
   /// this (Jacobi converges at rate gamma on the last level).
   double gamma_stop = 0.25;
-  TailSmoother tail = TailSmoother::kJacobi;
-  std::size_t last_level_jacobi_steps = 12;
-  std::size_t last_level_chebyshev_steps = 16;
-  std::uint64_t seed = 99;
-  support::WorkCounter* work = nullptr;
+  TailSmoother tail = TailSmoother::kJacobi;  ///< last-level smoother choice
+  std::size_t last_level_jacobi_steps = 12;   ///< sweeps for TailSmoother::kJacobi
+  std::size_t last_level_chebyshev_steps = 16;  ///< steps for kChebyshev
+  std::uint64_t seed = 99;  ///< seeds the per-level sparsifier coins
+  support::WorkCounter* work = nullptr;  ///< optional work accounting sink
 };
 
+/// Per-level bookkeeping recorded while the chain is built.
 struct ChainLevelInfo {
   std::size_t edges_after_square = 0;  ///< 0 for the input level
   std::size_t edges = 0;               ///< stored (possibly sparsified) edges
-  double gamma = 0.0;
+  double gamma = 0.0;                  ///< adjacency dominance at this level
 };
 
 class InverseChain {
@@ -63,8 +68,11 @@ class InverseChain {
   /// squaring stops changing anything.
   InverseChain(SDDMatrix m, const ChainOptions& options);
 
+  /// Number of stored levels (>= 1).
   std::size_t num_levels() const { return levels_.size(); }
+  /// Dimension n shared by every level (squaring never coarsens vertices).
   std::size_t dimension() const { return levels_.front().matrix.dimension(); }
+  /// Build-time bookkeeping, one entry per level.
   const std::vector<ChainLevelInfo>& level_info() const { return info_; }
 
   /// Total stored nonzeros across the chain ("total size of the approximate
@@ -74,8 +82,19 @@ class InverseChain {
   /// y ~ M^{-1} b: one top-down chain application (symmetric PSD operator).
   void apply(std::span<const double> b, std::span<double> y) const;
 
+  /// Blocked chain application: Y.column(j) ~ M^{-1} B.column(j) for every
+  /// column, with each level's CSR structure traversed once for the whole
+  /// block (the batched-solve hot path). Per column the arithmetic replicates
+  /// the single-vector apply() exactly, so results are bit-identical to
+  /// applying the chain to each column alone. Scratch is O(levels * n * k)
+  /// doubles; batch very wide blocks at the call site if memory matters.
+  void apply(const linalg::MultiVector& b, linalg::MultiVector& y) const;
+
   /// The chain as a LinearOperator (for preconditioned_cg).
   linalg::LinearOperator as_operator() const;
+
+  /// The chain as a BlockOperator (for blocked_pcg / solve_sdd_multi).
+  linalg::BlockOperator as_block_operator() const;
 
  private:
   struct Level {
@@ -87,6 +106,9 @@ class InverseChain {
   void apply_level(std::size_t level, std::span<const double> b,
                    std::span<double> y) const;
   void apply_tail(std::span<const double> b, std::span<double> y) const;
+  void apply_level_multi(std::size_t level, const linalg::MultiVector& b,
+                         linalg::MultiVector& y) const;
+  void apply_tail_multi(const linalg::MultiVector& b, linalg::MultiVector& y) const;
 
   std::vector<Level> levels_;
   std::vector<ChainLevelInfo> info_;

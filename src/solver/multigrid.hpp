@@ -22,16 +22,20 @@
 
 namespace spar::solver {
 
+/// V-cycle tuning knobs.
 struct MultigridOptions {
-  std::size_t pre_smooth = 2;
-  std::size_t post_smooth = 2;
-  double jacobi_weight = 2.0 / 3.0;
+  std::size_t pre_smooth = 2;        ///< Jacobi sweeps before coarse correction
+  std::size_t post_smooth = 2;       ///< Jacobi sweeps after coarse correction
+  double jacobi_weight = 2.0 / 3.0;  ///< damped-Jacobi weight (2/3 is classic)
   /// Stop coarsening when a side drops to this many points.
   std::size_t min_side = 4;
-  double coarse_tolerance = 1e-10;
-  std::size_t coarse_max_iterations = 2000;
+  double coarse_tolerance = 1e-10;   ///< CG tolerance on the coarsest level
+  std::size_t coarse_max_iterations = 2000;  ///< CG cap on the coarsest level
 };
 
+/// Galerkin multigrid hierarchy over a 2D grid graph; one V-cycle is a
+/// symmetric PSD approximate inverse (the PCG preconditioner bench_solver
+/// compares the chain against).
 class GridMultigrid {
  public:
   /// `m` must be the SDD matrix of a rows x cols grid graph (vertex (r, c)
@@ -39,13 +43,16 @@ class GridMultigrid {
   GridMultigrid(const SDDMatrix& m, std::size_t rows, std::size_t cols,
                 const MultigridOptions& options = {});
 
+  /// Number of grid levels in the hierarchy (finest included).
   std::size_t num_levels() const { return levels_.size(); }
+  /// Total stored nonzeros across all level operators.
   std::size_t total_nnz() const;
 
   /// One V-cycle applied to b (zero initial guess): y ~ A^{-1} b.
   /// Symmetric positive (semi-)definite, so usable as a PCG preconditioner.
   void v_cycle(std::span<const double> b, std::span<double> y) const;
 
+  /// The V-cycle as a LinearOperator (for preconditioned_cg).
   linalg::LinearOperator as_operator() const;
 
  private:
@@ -67,13 +74,14 @@ class GridMultigrid {
   bool project_constant_;
 };
 
+/// Outcome of multigrid_solve (mirrors SolveReport plus hierarchy size).
 struct MultigridSolveReport {
-  linalg::Vector solution;
-  std::size_t iterations = 0;
-  double relative_residual = 0.0;
-  bool converged = false;
-  std::size_t levels = 0;
-  std::size_t total_nnz = 0;
+  linalg::Vector solution;         ///< solution vector x
+  std::size_t iterations = 0;      ///< outer PCG iterations
+  double relative_residual = 0.0;  ///< achieved ||b - A x|| / ||b||
+  bool converged = false;          ///< residual <= tolerance
+  std::size_t levels = 0;          ///< hierarchy depth used
+  std::size_t total_nnz = 0;       ///< stored nonzeros across levels
 };
 
 /// Convenience: solve a grid SDD system with multigrid-preconditioned CG.

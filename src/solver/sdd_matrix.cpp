@@ -45,6 +45,28 @@ Vector SDDMatrix::apply(std::span<const double> x) const {
   return y;
 }
 
+void SDDMatrix::apply(const linalg::MultiVector& x, linalg::MultiVector& y) const {
+  SPAR_CHECK(x.rows() == dimension() && y.rows() == dimension() &&
+                 x.cols() == y.cols(),
+             "SDDMatrix::apply: block shape mismatch");
+  // Columns round trip through contiguous buffers and the scalar apply(), so
+  // per-column results are bit-identical to single-vector applies (the
+  // blocked-solve determinism contract). This is NOT the hot path of a
+  // batched solve -- the chain preconditioner dominates -- so the gather /
+  // scatter cost is acceptable.
+  linalg::column_block_operator(as_operator()).apply(x, y);
+}
+
+linalg::LinearOperator SDDMatrix::as_operator() const {
+  return {dimension(), [this](std::span<const double> x, std::span<double> y) {
+            apply(x, y);
+          }};
+}
+
+linalg::BlockOperator SDDMatrix::as_block_operator() const {
+  return linalg::column_block_operator(as_operator());
+}
+
 double SDDMatrix::quadratic_form(std::span<const double> x) const {
   double q = linalg::laplacian_quadratic_form(graph_, x);
   for (std::size_t i = 0; i < dimension(); ++i) q += slack_[i] * x[i] * x[i];

@@ -10,12 +10,16 @@
 
 #include "graph/graph.hpp"
 #include "linalg/csr_matrix.hpp"
+#include "linalg/operator.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace spar::solver {
 
+/// M = L(graph) + diag(slack) with the two parts kept separate (see the
+/// header comment: the chain identity needs D and A individually).
 class SDDMatrix {
  public:
+  /// Empty matrix (dimension 0); assign a real one before use.
   SDDMatrix() = default;
 
   /// Pure graph Laplacian (slack = 0; singular with nullspace span{1} per
@@ -25,8 +29,11 @@ class SDDMatrix {
   /// L(graph) + diag(slack); slack entries must be >= 0.
   SDDMatrix(graph::Graph laplacian_part, linalg::Vector slack);
 
+  /// Number of rows/columns n (= vertices of the graph part).
   std::size_t dimension() const { return graph_.num_vertices(); }
+  /// The Laplacian part's graph (what the chain sparsifies between levels).
   const graph::Graph& graph_part() const { return graph_; }
+  /// The nonnegative diagonal slack s (all zero iff the matrix is singular).
   const linalg::Vector& slack() const { return slack_; }
 
   /// Full diagonal D = weighted degree + slack.
@@ -36,7 +43,19 @@ class SDDMatrix {
 
   /// y = M x  (matrix-free; OpenMP over the edge list + diagonal).
   void apply(std::span<const double> x, std::span<double> y) const;
+  /// Allocating overload of apply(): returns M x as a fresh vector.
   linalg::Vector apply(std::span<const double> x) const;
+
+  /// Y = M X column by column. Each column goes through the scalar apply(),
+  /// so per-column results are bit-identical to single-vector applies (the
+  /// blocked-solve determinism contract).
+  void apply(const linalg::MultiVector& x, linalg::MultiVector& y) const;
+
+  /// M as a LinearOperator (for conjugate_gradient / preconditioned_cg).
+  linalg::LinearOperator as_operator() const;
+
+  /// M as a blocked operator (for blocked_pcg / solve_sdd_multi).
+  linalg::BlockOperator as_block_operator() const;
 
   /// x^T M x  (exact, nonnegative).
   double quadratic_form(std::span<const double> x) const;
@@ -47,6 +66,7 @@ class SDDMatrix {
   /// Explicit CSR of M itself (for tests / external tools).
   linalg::CSRMatrix to_csr() const;
 
+  /// Stored nonzeros of the explicit form (two per edge plus the diagonal).
   std::size_t nnz() const { return 2 * graph_.num_edges() + dimension(); }
 
  private:

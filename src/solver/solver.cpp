@@ -9,12 +9,6 @@ using linalg::Vector;
 
 namespace {
 
-LinearOperator matrix_operator(const SDDMatrix& m) {
-  return {m.dimension(), [&m](std::span<const double> x, std::span<double> y) {
-            m.apply(x, y);
-          }};
-}
-
 SolveReport finish(Vector x, const linalg::CGReport& cg) {
   SolveReport report;
   report.solution = std::move(x);
@@ -41,11 +35,39 @@ SolveReport solve_sdd(const SDDMatrix& m, const InverseChain& chain,
   cg.max_iterations = options.max_iterations;
   cg.project_constant = m.is_singular();
   const auto report =
-      linalg::preconditioned_cg(matrix_operator(m), chain.as_operator(), b, x, cg);
+      linalg::preconditioned_cg(m.as_operator(), chain.as_operator(), b, x, cg);
   SolveReport out = finish(std::move(x), report);
   out.chain_levels = chain.num_levels();
   out.chain_total_nnz = chain.total_nnz();
   return out;
+}
+
+MultiSolveReport solve_sdd_multi(const SDDMatrix& m, const linalg::MultiVector& b,
+                                 const SolveOptions& options) {
+  SPAR_CHECK(b.rows() == m.dimension(), "solve_sdd_multi: rhs size mismatch");
+  const InverseChain chain(m, options.chain);
+  return solve_sdd_multi(m, chain, b, options);
+}
+
+MultiSolveReport solve_sdd_multi(const SDDMatrix& m, const InverseChain& chain,
+                                 const linalg::MultiVector& b,
+                                 const SolveOptions& options) {
+  SPAR_CHECK(b.rows() == m.dimension(), "solve_sdd_multi: rhs size mismatch");
+  MultiSolveReport report;
+  report.solutions = linalg::MultiVector(m.dimension(), b.cols(), 0.0);
+  report.chain_levels = chain.num_levels();
+  report.chain_total_nnz = chain.total_nnz();
+  linalg::CGOptions cg;
+  cg.tolerance = options.tolerance;
+  cg.max_iterations = options.max_iterations;
+  cg.project_constant = m.is_singular();
+  const auto block = linalg::blocked_pcg(m.as_block_operator(),
+                                         chain.as_block_operator(), b,
+                                         report.solutions, cg);
+  report.columns = block.columns;
+  report.iterations = block.iterations;
+  report.block_applies = block.block_applies;
+  return report;
 }
 
 SolveReport solve_cg(const SDDMatrix& m, std::span<const double> b,
@@ -56,7 +78,7 @@ SolveReport solve_cg(const SDDMatrix& m, std::span<const double> b,
   cg.tolerance = options.tolerance;
   cg.max_iterations = options.max_iterations;
   cg.project_constant = m.is_singular();
-  const auto report = linalg::conjugate_gradient(matrix_operator(m), b, x, cg);
+  const auto report = linalg::conjugate_gradient(m.as_operator(), b, x, cg);
   return finish(std::move(x), report);
 }
 
@@ -78,7 +100,7 @@ SolveReport solve_jacobi_pcg(const SDDMatrix& m, std::span<const double> b,
   cg.tolerance = options.tolerance;
   cg.max_iterations = options.max_iterations;
   cg.project_constant = m.is_singular();
-  const auto report = linalg::preconditioned_cg(matrix_operator(m), jacobi, b, x, cg);
+  const auto report = linalg::preconditioned_cg(m.as_operator(), jacobi, b, x, cg);
   return finish(std::move(x), report);
 }
 

@@ -12,9 +12,10 @@
 
 namespace spar::solver {
 
+/// Edge counts around one squaring step (the fill-in the sparsifier fights).
 struct SquaringStats {
-  std::size_t input_edges = 0;
-  std::size_t output_edges = 0;
+  std::size_t input_edges = 0;   ///< graph-part edges of the input matrix
+  std::size_t output_edges = 0;  ///< graph-part edges of D - A D^{-1} A
 };
 
 /// Returns M~ = D - A D^{-1} A as an SDDMatrix over the same vertex set.

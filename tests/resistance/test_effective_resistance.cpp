@@ -6,6 +6,7 @@
 
 #include "graph/generators.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace spar::resistance {
 namespace {
@@ -137,6 +138,38 @@ TEST(ApproxResistance, DeterministicPerSeed) {
   const auto a = approx_effective_resistances(g, opt);
   const auto b = approx_effective_resistances(g, opt);
   EXPECT_EQ(a, b);
+}
+
+TEST(ApproxResistance, BlockSizeDoesNotChangeTheSketch) {
+  // The sketch routes through blocked CG in blocks of block_size probes; a
+  // probe's solve is bit-identical whatever block it lands in (convergence
+  // masking freezes each column independently), so the result must not depend
+  // on the batching at all.
+  const Graph g = graph::connected_erdos_renyi(50, 0.15, 5);
+  ApproxResistanceOptions opt;
+  opt.seed = 7;
+  opt.num_probes = 11;  // deliberately not a multiple of any block size
+  linalg::Vector reference;
+  for (std::size_t block : {1u, 3u, 4u, 16u, 64u}) {
+    opt.block_size = block;
+    const auto r = approx_effective_resistances(g, opt);
+    if (reference.empty()) reference = r;
+    EXPECT_EQ(r, reference) << "block_size " << block;
+  }
+}
+
+TEST(ApproxResistance, BitIdenticalAcrossThreadCounts) {
+  const Graph g = graph::connected_erdos_renyi(60, 0.12, 9);
+  ApproxResistanceOptions opt;
+  opt.seed = 13;
+  opt.num_probes = 6;
+  linalg::Vector reference;
+  for (int threads : {1, 2, 4}) {
+    support::par::ThreadLimit limit(threads);
+    const auto r = approx_effective_resistances(g, opt);
+    if (reference.empty()) reference = r;
+    EXPECT_EQ(r, reference) << "threads " << threads;
+  }
 }
 
 TEST(LeverageScores, SizesAndValues) {
