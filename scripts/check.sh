@@ -59,6 +59,12 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # golden hash -- already ran above under ctest.)
 "$build_dir/bench/bench_stream" --quick=1
 
+# Chain-build smoke: bench_chain exits nonzero if a dense- or streamed-built
+# chain fails to solve within tolerance, the streamed build differs across
+# thread counts, a small-config streamed square certifies outside eps, or the
+# streamed build fails to undercut the dense peak resident product.
+"$build_dir/bench/bench_chain" --quick=1
+
 # Batched-solve smoke: bench_multi_rhs exits nonzero if the batched
 # solve_sdd_multi solutions are not bit-identical to the per-RHS solve_sdd
 # loop, or any solve misses tolerance, or the effective-resistance sketch

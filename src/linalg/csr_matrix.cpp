@@ -165,19 +165,28 @@ void CSRMatrix::multiply_add(std::span<const double> x, std::span<double> y,
 }
 
 CSRMatrix CSRMatrix::multiply(const CSRMatrix& other) const {
+  return multiply(other, 0, rows_);
+}
+
+CSRMatrix CSRMatrix::multiply(const CSRMatrix& other, std::size_t row_begin,
+                              std::size_t row_end) const {
   SPAR_CHECK(cols_ == other.rows_, "SpGEMM: inner dimension mismatch");
+  SPAR_CHECK(row_begin <= row_end && row_end <= rows_,
+             "SpGEMM: row range out of bounds");
+  const std::size_t block_rows = row_end - row_begin;
   CSRMatrix c;
-  c.rows_ = rows_;
+  c.rows_ = block_rows;
   c.cols_ = other.cols_;
-  c.offsets_.assign(rows_ + 1, 0);
+  c.offsets_.assign(block_rows + 1, 0);
 
   // Pass 1: count nnz per output row (Gustavson symbolic phase). Each worker
   // keeps one dense marker array, created lazily on first chunk it runs.
-  std::vector<std::size_t> row_nnz(rows_, 0);
+  // Marker stamps are global row ids, unique within the call.
+  std::vector<std::size_t> row_nnz(block_rows, 0);
   {
     par::WorkerLocal<std::vector<std::int64_t>> markers;
     par::parallel_chunks(
-        0, static_cast<std::int64_t>(rows_),
+        static_cast<std::int64_t>(row_begin), static_cast<std::int64_t>(row_end),
         [&](std::int64_t rb, std::int64_t re, std::int64_t /*chunk*/, int worker) {
           std::vector<std::int64_t>& marker = markers.local(
               worker, [&] { return std::vector<std::int64_t>(other.cols_, -1); });
@@ -195,14 +204,15 @@ CSRMatrix CSRMatrix::multiply(const CSRMatrix& other) const {
                 }
               }
             }
-            row_nnz[static_cast<std::size_t>(r)] = count;
+            row_nnz[static_cast<std::size_t>(r) - row_begin] = count;
           }
         },
         {.grain = 64});
   }
-  for (std::size_t r = 0; r < rows_; ++r) c.offsets_[r + 1] = c.offsets_[r] + row_nnz[r];
-  c.col_index_.resize(c.offsets_[rows_]);
-  c.values_.resize(c.offsets_[rows_]);
+  for (std::size_t r = 0; r < block_rows; ++r)
+    c.offsets_[r + 1] = c.offsets_[r] + row_nnz[r];
+  c.col_index_.resize(c.offsets_[block_rows]);
+  c.values_.resize(c.offsets_[block_rows]);
 
   // Pass 2: numeric phase with one dense accumulator per worker; output rows
   // are disjoint ranges of c, so writes never conflict.
@@ -214,13 +224,14 @@ CSRMatrix CSRMatrix::multiply(const CSRMatrix& other) const {
     };
     par::WorkerLocal<Scratch> scratches;
     par::parallel_chunks(
-        0, static_cast<std::int64_t>(rows_),
+        static_cast<std::int64_t>(row_begin), static_cast<std::int64_t>(row_end),
         [&](std::int64_t rb, std::int64_t re, std::int64_t /*chunk*/, int worker) {
           Scratch& scratch = scratches.local(worker, [&] { return Scratch(other.cols_); });
           std::vector<double>& accum = scratch.accum;
           std::vector<std::int64_t>& marker = scratch.marker;
           for (std::int64_t r = rb; r < re; ++r) {
-            std::size_t head = c.offsets_[static_cast<std::size_t>(r)];
+            const std::size_t lr = static_cast<std::size_t>(r) - row_begin;
+            std::size_t head = c.offsets_[lr];
             for (std::size_t ka = offsets_[static_cast<std::size_t>(r)];
                  ka < offsets_[static_cast<std::size_t>(r) + 1]; ++ka) {
               const std::uint32_t mid = col_index_[ka];
@@ -238,15 +249,33 @@ CSRMatrix CSRMatrix::multiply(const CSRMatrix& other) const {
             }
             // Sort this row's columns for deterministic layout, then write values.
             std::sort(c.col_index_.begin() +
-                          static_cast<std::ptrdiff_t>(c.offsets_[static_cast<std::size_t>(r)]),
+                          static_cast<std::ptrdiff_t>(c.offsets_[lr]),
                       c.col_index_.begin() + static_cast<std::ptrdiff_t>(head));
-            for (std::size_t k = c.offsets_[static_cast<std::size_t>(r)]; k < head; ++k)
+            for (std::size_t k = c.offsets_[lr]; k < head; ++k)
               c.values_[k] = accum[c.col_index_[k]];
           }
         },
         {.grain = 64});
   }
   return c;
+}
+
+std::vector<std::size_t> CSRMatrix::multiply_fill_bound(const CSRMatrix& other) const {
+  SPAR_CHECK(cols_ == other.rows_, "multiply_fill_bound: inner dimension mismatch");
+  std::vector<std::size_t> bound(rows_, 0);
+  par::parallel_for(
+      0, static_cast<std::int64_t>(rows_),
+      [&](std::int64_t r) {
+        std::size_t count = 0;
+        for (std::size_t k = offsets_[static_cast<std::size_t>(r)];
+             k < offsets_[static_cast<std::size_t>(r) + 1]; ++k) {
+          const std::uint32_t mid = col_index_[k];
+          count += other.offsets_[mid + 1] - other.offsets_[mid];
+        }
+        bound[static_cast<std::size_t>(r)] = count;
+      },
+      {.enable = nnz() > (1u << 14)});
+  return bound;
 }
 
 Vector CSRMatrix::diagonal_vector() const {

@@ -1,6 +1,8 @@
 #include "solver/chain.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "linalg/chebyshev.hpp"
 #include "linalg/eigen_iterative.hpp"
@@ -43,15 +45,63 @@ InverseChain::InverseChain(SDDMatrix m, const ChainOptions& options) {
     if (info.gamma <= options.gamma_stop) break;
     if (current.graph_part().num_edges() == 0) break;
 
+    // Pick the squaring path BEFORE committing product memory: the symbolic
+    // fill projection is O(nnz) and is what both the guard and auto mode act
+    // on. kStreamed needs no projection (square_streamed plans its own).
+    std::size_t projected = 0;
+    bool use_streamed = options.squaring == SquaringMode::kStreamed;
+    if (options.squaring == SquaringMode::kAuto ||
+        (options.squaring == SquaringMode::kDense && options.max_level_fill > 0)) {
+      projected = projected_square_fill(current);
+    }
+    if (options.squaring == SquaringMode::kAuto) {
+      std::size_t limit = options.streamed_fill_threshold;
+      if (options.max_level_fill > 0) limit = std::min(limit, options.max_level_fill);
+      use_streamed = projected > limit;
+    } else if (options.squaring == SquaringMode::kDense &&
+               options.max_level_fill > 0 && projected > options.max_level_fill) {
+      throw spar::Error(
+          "InverseChain: level " + std::to_string(level) + " square projects " +
+          std::to_string(projected) + " product entries, over the max_level_fill "
+          "budget of " + std::to_string(options.max_level_fill) +
+          "; raise the budget or set ChainOptions::squaring = kStreamed/kAuto "
+          "to build this level in bounded memory");
+    }
+
     SquaringStats sq_stats;
-    SDDMatrix squared = square(current, &sq_stats);
+    SDDMatrix squared;
+    if (use_streamed) {
+      // Fused sparsify-during-squaring: the tower spends this level's whole
+      // eps budget internally (split across its passes), so the result is a
+      // certified (1 +- level_epsilon) sparsifier of the exact square -- the
+      // same contract as the dense square + posthoc sparsify below, without
+      // the product ever being resident. No second sparsify pass follows.
+      StreamedSquareOptions sqopt;
+      sqopt.epsilon = options.level_epsilon;
+      sqopt.rho = options.rho;
+      sqopt.t = options.t;
+      sqopt.seed = support::mix64(options.seed, level + 1);
+      sqopt.batch_edges = options.stream_batch_edges;
+      sqopt.max_resident_levels = options.stream_max_resident_levels;
+      sqopt.block_fill_edges = options.stream_block_fill_edges;
+      sqopt.work = options.work;
+      squared = square_streamed(current, sqopt, &sq_stats);
+    } else {
+      squared = square(current, &sq_stats);
+    }
     info_.back().edges_after_square = sq_stats.output_edges;
+    info_.back().projected_fill = use_streamed ? sq_stats.projected_fill : projected;
+    info_.back().streamed_square = use_streamed;
+    info_.back().peak_resident_edges = sq_stats.peak_resident_edges;
+    info_.back().sparsify_passes = sq_stats.sparsify_passes;
+    info_.back().epsilon_budget_used = sq_stats.epsilon_budget_used;
 
     // Section 4: bring the level back toward its original size whenever it
-    // exceeds the threshold of applicability m' = edge_factor * n.
+    // exceeds the threshold of applicability m' = edge_factor * n. Streamed
+    // levels come out of the tower already sparsified at this level's budget.
     const auto threshold = static_cast<std::size_t>(
         options.edge_factor * static_cast<double>(squared.dimension()));
-    if (squared.graph_part().num_edges() > threshold) {
+    if (!use_streamed && squared.graph_part().num_edges() > threshold) {
       sparsify::SparsifyOptions spopt;
       spopt.epsilon = options.level_epsilon;
       spopt.rho = options.rho;

@@ -12,6 +12,14 @@
 // operator is symmetric PSD, so it serves directly as a PCG preconditioner
 // (how bench_solver uses it), and as a standalone solver via iterative
 // refinement.
+//
+// The squaring step is where fill-in explodes (A D^{-1} A connects every
+// 2-hop pair). ChainOptions::squaring picks how each level absorbs it:
+// materialize the exact product then sparsify (kDense), or fuse the
+// sparsifier into the SpGEMM so the product streams through a bounded-memory
+// tower and is never resident (kStreamed; kAuto switches by projected fill).
+// ChainOptions::max_level_fill turns the projection into a hard guard that
+// refuses a dense square before any product memory is committed.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +37,22 @@ enum class TailSmoother {
   kJacobi,     ///< damped Jacobi sweeps (no setup, gamma-rate convergence)
   kChebyshev,  ///< Chebyshev semi-iteration with Lanczos-estimated bounds;
                ///< sqrt(kappa)-rate, no inner products (PRAM-friendlier)
+};
+
+/// How each level's square A D^{-1} A is produced (see solver/squaring.hpp).
+enum class SquaringMode {
+  /// Dense while a level's projected fill stays small, streamed past
+  /// ChainOptions::streamed_fill_threshold (or past max_level_fill when that
+  /// guard is set): small instances keep the exact reference path, big ones
+  /// never materialize the product.
+  kAuto,
+  /// Always materialize the exact product (square()); the parity reference.
+  /// With max_level_fill set this mode refuses oversized levels with a
+  /// diagnosed error instead of attempting the SpGEMM.
+  kDense,
+  /// Always fuse sparsify-during-squaring (square_streamed()): bounded
+  /// resident memory, the level's eps budget spent inside the tower.
+  kStreamed,
 };
 
 struct ChainOptions {
@@ -52,14 +76,43 @@ struct ChainOptions {
   std::size_t last_level_jacobi_steps = 12;   ///< sweeps for TailSmoother::kJacobi
   std::size_t last_level_chebyshev_steps = 16;  ///< steps for kChebyshev
   std::uint64_t seed = 99;  ///< seeds the per-level sparsifier coins
+  /// How each level's square is produced (dense SpGEMM vs streamed tower).
+  SquaringMode squaring = SquaringMode::kAuto;
+  /// kAuto switches a level to streamed squaring once projected_square_fill
+  /// exceeds this many product entries. The default keeps small instances
+  /// (and the existing tests) on the dense reference path.
+  std::size_t streamed_fill_threshold = std::size_t{1} << 22;
+  /// Fill-in guard: 0 = off. When set and a level's projected fill exceeds
+  /// it, kDense throws a diagnosed spar::Error (naming the level, the
+  /// projection, and the streamed-squaring escape hatch) BEFORE committing
+  /// product memory; kAuto switches to streamed at this bound too (it acts
+  /// as a second, stricter streamed_fill_threshold).
+  std::size_t max_level_fill = 0;
+  /// Streamed squaring: tower batch granularity in edges.
+  std::size_t stream_batch_edges = std::size_t{1} << 17;
+  /// Streamed squaring: tower resident-level cap (peak memory knob).
+  std::size_t stream_max_resident_levels = 3;
+  /// Streamed squaring: target symbolic fill per SpGEMM row-block.
+  std::size_t stream_block_fill_edges = std::size_t{1} << 20;
   support::WorkCounter* work = nullptr;  ///< optional work accounting sink
 };
 
-/// Per-level bookkeeping recorded while the chain is built.
+/// Per-level bookkeeping recorded while the chain is built. The squaring
+/// fields describe the step that produced the NEXT level from this one (all
+/// zero/false on the final level, which never squares).
 struct ChainLevelInfo {
   std::size_t edges_after_square = 0;  ///< 0 for the input level
   std::size_t edges = 0;               ///< stored (possibly sparsified) edges
   double gamma = 0.0;                  ///< adjacency dominance at this level
+  /// Symbolic fill bound of this level's square (what the guard / auto mode
+  /// decided on; the streamed path reports the bound it planned with).
+  std::size_t projected_fill = 0;
+  bool streamed_square = false;  ///< next level built by square_streamed()
+  /// Peak resident edges of the squaring step (tower + block + batch when
+  /// streamed; the materialized product's nnz when dense).
+  std::size_t peak_resident_edges = 0;
+  std::size_t sparsify_passes = 0;   ///< streamed-tower reduce passes
+  double epsilon_budget_used = 0.0;  ///< composed tower eps (streamed only)
 };
 
 class InverseChain {

@@ -47,6 +47,15 @@ double per_level_epsilon(double eps, std::size_t depth) {
   return std::expm1(std::log1p(eps) / static_cast<double>(std::max<std::size_t>(depth, 1)));
 }
 
+/// Unknown-plan (bare push) schedule: the pass lifting edges to depth k
+/// spends a 2^-k fraction of the log-budget. Pass depths along any edge's
+/// history are strictly increasing, so the composed error stays inside
+/// (1 +- eps) for any stream length (see stream.hpp).
+double adaptive_pass_epsilon(double eps, std::size_t depth) {
+  const int k = static_cast<int>(std::min<std::size_t>(std::max<std::size_t>(depth, 1), 60));
+  return std::expm1(std::log1p(eps) * std::ldexp(1.0, -k));
+}
+
 }  // namespace
 
 StreamSparsifier::StreamSparsifier(graph::Vertex num_vertices,
@@ -57,11 +66,16 @@ StreamSparsifier::StreamSparsifier(graph::Vertex num_vertices,
   SPAR_CHECK(opt_.batch_edges > 0, "stream_sparsify: batch_edges must be positive");
   SPAR_CHECK(opt_.max_resident_levels >= 1,
              "stream_sparsify: max_resident_levels must be >= 1");
-  if (opt_.planned_batches == 0) opt_.planned_batches = std::size_t{1} << 20;
+  adaptive_budget_ = opt_.planned_batches == 0;
   pass_seed_base_ = support::mix64(opt_.seed, kStreamSeedTag);
   report_.batch_edges = opt_.batch_edges;
-  report_.depth_planned = planned_depth(opt_.planned_batches, opt_.max_resident_levels);
-  report_.per_level_epsilon = per_level_epsilon(opt_.epsilon, report_.depth_planned);
+  if (!adaptive_budget_) {
+    report_.depth_planned = planned_depth(opt_.planned_batches, opt_.max_resident_levels);
+    report_.per_level_epsilon = per_level_epsilon(opt_.epsilon, report_.depth_planned);
+  }
+  // Bare push (planned_batches == 0): no up-front split -- each pass draws
+  // from the depth-keyed geometric schedule and finish() derives the plan
+  // from the real batch count.
 }
 
 std::size_t StreamSparsifier::resident_edges() const {
@@ -87,6 +101,7 @@ void StreamSparsifier::reduce_into(std::size_t target, std::size_t top_level,
   EdgeArena merged;
   std::size_t batches_covered = 0;
   std::size_t depth = 0;
+  double log_err = 0.0;
   for (std::size_t i = top_level + 1; i-- > 0;) {
     Level& level = levels_[i];
     if (!level.occupied) continue;
@@ -101,8 +116,10 @@ void StreamSparsifier::reduce_into(std::size_t target, std::size_t top_level,
     level.occupied = false;
     batches_covered += level.batches;
     depth = std::max(depth, level.depth);
+    log_err = std::max(log_err, level.log_err);
     level.batches = 0;
     level.depth = 0;
+    level.log_err = 0.0;
   }
   if (batch != nullptr) {
     if (merged.num_vertices() == 0 && merged.size() == 0) merged.resize(n_, 0);
@@ -117,9 +134,14 @@ void StreamSparsifier::reduce_into(std::size_t target, std::size_t top_level,
 
   // One in-place PARALLELSPARSIFY round loop at the per-level budget; the
   // pass seed is a pure function of (stream seed, pass index), and the pass
-  // sequence is a pure function of the arrival sequence.
+  // sequence is a pure function of the arrival sequence. Every merged edge
+  // comes out at depth + 1, which keys the adaptive (unknown-plan) schedule.
+  const std::size_t pass_depth = depth + 1;
+  const double pass_epsilon = adaptive_budget_
+                                  ? adaptive_pass_epsilon(opt_.epsilon, pass_depth)
+                                  : report_.per_level_epsilon;
   SparsifyOptions sopt;
-  sopt.epsilon = report_.per_level_epsilon;
+  sopt.epsilon = pass_epsilon;
   sopt.rho = opt_.rho;
   sopt.t = opt_.t;
   sopt.keep_probability = opt_.keep_probability;
@@ -133,8 +155,10 @@ void StreamSparsifier::reduce_into(std::size_t target, std::size_t top_level,
   Level& dst = levels_[target];
   dst.arena = std::move(ctx.arena());
   dst.batches = batches_covered;
-  dst.depth = depth + 1;
+  dst.depth = pass_depth;
+  dst.log_err = log_err + std::log1p(pass_epsilon);
   dst.occupied = true;
+  max_log_err_ = std::max(max_log_err_, dst.log_err);
 
   report_.sparsify_calls += 1;
   if (report_.sparsify_calls_per_level.size() <= target)
@@ -216,9 +240,21 @@ StreamResult StreamSparsifier::finish() {
     levels_[top].occupied = false;
   }
   report_.final_edges = result.sparsifier.num_edges();
-  report_.epsilon_budget_used =
-      std::expm1(static_cast<double>(report_.depth_used) *
-                 std::log1p(report_.per_level_epsilon));
+  if (adaptive_budget_) {
+    // The plan the run would have gotten had the batch count been known;
+    // the tower mechanics bound depth_used by it regardless of the budget
+    // schedule (same carries/flush/collapse counting as the planned mode).
+    report_.depth_planned =
+        planned_depth(std::max<std::size_t>(report_.batches, 1),
+                      opt_.max_resident_levels);
+    report_.per_level_epsilon =
+        report_.depth_used > 0
+            ? adaptive_pass_epsilon(opt_.epsilon, report_.depth_used)
+            : opt_.epsilon;
+  }
+  // Exact composed budget along the deepest merge chain (== the uniform
+  // depth_used * log1p(per-pass eps) in planned mode).
+  report_.epsilon_budget_used = std::expm1(max_log_err_);
   result.report = report_;
   return result;
 }

@@ -37,6 +37,18 @@
 // eps/D by concavity. The report records both the planned depth and the
 // depth actually used. See DESIGN.md ("merge-and-reduce streaming tower").
 //
+// Unknown batch count (bare push API, planned_batches == 0): there is no D to
+// split by, and assuming a huge one (this code used to plan for 2^20 batches,
+// a ~22-deep split) starves every pass of budget no matter how short the
+// stream really is. Instead each pass draws from a geometric schedule keyed
+// by the depth it produces: the pass that lifts edges to depth k spends a
+// 2^-k fraction of the log-budget, log(1 + eps_k) = 2^-k log(1 + eps). An
+// edge's pass depths are strictly increasing, so its composed log-error is a
+// subset sum of {2^-1, 2^-2, ...} times log(1 + eps) -- below log(1 + eps)
+// for ANY stream length, with no up-front plan. finish() then derives
+// depth_planned from the real batch count and the report tracks the exact
+// composed budget along the deepest merge chain.
+//
 // Determinism: batch boundaries are a pure function of (source, batch_edges),
 // concatenation order is a pure function of the arrival sequence, and every
 // reduce pass runs the round pipeline's counter-based per-edge coins -- so
@@ -65,8 +77,10 @@ struct StreamOptions {
   std::uint64_t seed = 1;
   /// Batch granularity: the unit of resident memory.
   std::size_t batch_edges = std::size_t{1} << 17;
-  /// Batches the budget is planned for; 0 = derive (stream drivers know the
-  /// total up front; the bare push API assumes 2^20 batches, a ~22-deep plan).
+  /// Batches the eps budget is planned for. The stream drivers know the total
+  /// up front and set it; 0 = unknown (bare push API), which switches every
+  /// pass to the geometric depth-keyed budget schedule (see header comment)
+  /// and derives the report's depth_planned from the real count at finish().
   std::size_t planned_batches = 0;
   /// Collapse the tower once more than this many level sketches are
   /// resident: peak memory ~ (cap sketches + 1 batch). A cap below the
@@ -93,8 +107,12 @@ struct StreamReport {
   std::size_t levels_used = 0;     ///< highest occupied level + 1, over the run
   std::size_t depth_planned = 0;   ///< sparsify passes budgeted per edge
   std::size_t depth_used = 0;      ///< passes the deepest edge actually took
+  /// Uniform per-pass eps when the batch count was planned; in bare-push
+  /// (unknown-plan) mode, the eps of the deepest pass actually run.
   double per_level_epsilon = 0.0;
-  double epsilon_budget_used = 0.0;  ///< (1 + per_level_epsilon)^depth_used - 1
+  /// Exact composed budget along the deepest merge chain:
+  /// exp(max over levels of sum of log(1 + pass eps)) - 1. Always <= epsilon.
+  double epsilon_budget_used = 0.0;
   std::size_t sparsify_calls = 0;
   std::vector<std::size_t> sparsify_calls_per_level;  ///< by target level
   std::size_t peak_resident_edges = 0;  ///< max simultaneously held edges
@@ -133,6 +151,7 @@ class StreamSparsifier {
     graph::EdgeArena arena;
     std::size_t batches = 0;  ///< batches covered; <= 2^level
     std::size_t depth = 0;    ///< max sparsify passes any contained edge took
+    double log_err = 0.0;     ///< max composed log(1 + eps) along any edge's passes
     bool occupied = false;
   };
 
@@ -148,6 +167,8 @@ class StreamSparsifier {
 
   graph::Vertex n_ = 0;
   StreamOptions opt_;
+  bool adaptive_budget_ = false;  ///< planned_batches == 0: depth-keyed eps
+  double max_log_err_ = 0.0;      ///< deepest composed log(1 + eps) so far
   std::uint64_t pass_seed_base_ = 0;
   std::size_t passes_ = 0;
   std::vector<Level> levels_;

@@ -242,6 +242,41 @@ TEST(StreamSparsify, PushApiMatchesDriverAndGuardsMisuse) {
   EXPECT_THROW(other.push_batch(view.slab(0, 1)), spar::Error);
 }
 
+TEST(StreamSparsify, BarePushAdaptiveBudgetStaysInsideEpsilon) {
+  // planned_batches == 0 (bare push API, stream length unknown up front):
+  // every pass must run on the geometric depth-keyed schedule -- this code
+  // used to assume a 2^20-batch worst-case plan, splitting eps ~22 ways and
+  // over-thinning every pass. finish() now derives depth_planned from the
+  // real batch count; the used depth must fit that derived plan, and the
+  // exactly-tracked composed budget must stay inside the end-to-end epsilon
+  // for any stream length. A tight resident cap makes collapses fire, which
+  // is the deepest budget path.
+  const Graph g = graph::randomize_weights(graph::complete_graph(100), 0.5, 23);
+  EdgeArena arena(g);
+  StreamOptions opt = base_options(128, 3);
+  opt.max_resident_levels = 2;
+  ASSERT_EQ(opt.planned_batches, 0u);  // bare push: no up-front plan
+  StreamSparsifier tower(g.num_vertices(), opt);
+  const graph::EdgeView view = arena.view();
+  for (std::size_t at = 0; at < view.size; at += 128)
+    tower.push_batch(view.slab(at, std::min(view.size, at + 128)));
+  const StreamResult r = tower.finish();
+  const StreamReport& rep = r.report;
+
+  EXPECT_EQ(rep.batches, (g.num_edges() + 127) / 128);
+  EXPECT_GT(rep.depth_planned, 0u);
+  EXPECT_LE(rep.depth_used, rep.depth_planned);
+  EXPECT_GT(rep.per_level_epsilon, 0.0);
+  EXPECT_LT(rep.per_level_epsilon, opt.epsilon);
+  EXPECT_GT(rep.epsilon_budget_used, 0.0);
+  EXPECT_LE(rep.epsilon_budget_used, opt.epsilon + 1e-12);
+
+  const ApproxBounds bounds = exact_relative_bounds(g, r.sparsifier);
+  ASSERT_TRUE(bounds.defined);
+  EXPECT_GT(bounds.lower, 1.0 - opt.epsilon);
+  EXPECT_LT(bounds.upper, 1.0 + opt.epsilon);
+}
+
 TEST(StreamSparsify, RejectsBadOptions) {
   StreamOptions opt;
   opt.epsilon = 0.0;
