@@ -86,44 +86,8 @@ std::vector<double> parse_list(const support::Options& opt, const std::string& k
   return out;
 }
 
-/// `gen:<family>:<params>[:seed]` synthetic inputs, so smoke tests and CI
-/// need no fixture files.
-graph::Graph generate_input(const std::string& spec) {
-  const auto parts = split(spec, ':');
-  if (parts.size() < 2) throw Error("bad gen spec: " + spec);
-  const std::string& family = parts[1];
-  const std::uint64_t seed =
-      parts.size() > 3 ? parse_number<std::uint64_t>("gen seed", parts[3]) : 1;
-  auto dims = [&](const char* what) {
-    if (parts.size() < 3) throw Error(std::string("gen:") + family + " needs " + what);
-    return parts[2];
-  };
-  if (family == "grid" || family == "wgrid") {
-    const auto rc = split(dims("RxC"), 'x');
-    if (rc.size() != 2) throw Error("gen:grid wants RxC, got " + dims("RxC"));
-    const auto g = graph::grid2d(parse_number<graph::Vertex>("grid rows", rc[0]),
-                                 parse_number<graph::Vertex>("grid cols", rc[1]));
-    return family == "wgrid" ? graph::randomize_weights(g, 2.0, seed) : g;
-  }
-  const auto n = parse_number<graph::Vertex>("gen size", dims("a size"));
-  if (family == "er") {
-    const double p = std::min(1.0, 16.0 / static_cast<double>(n));
-    return graph::connected_erdos_renyi(n, p, seed);
-  }
-  if (family == "wer") {
-    const double p = std::min(1.0, 16.0 / static_cast<double>(n));
-    return graph::randomize_weights(graph::connected_erdos_renyi(n, p, seed), 2.0,
-                                    seed + 1);
-  }
-  if (family == "complete") return graph::complete_graph(n);
-  if (family == "pa") return graph::preferential_attachment(n, 4, seed);
-  if (family == "ws") return graph::watts_strogatz(n, 4, 0.1, seed);
-  throw Error("unknown gen family: " + family +
-              " (want grid, wgrid, er, wer, complete, pa, ws)");
-}
-
 graph::Graph load_input(const std::string& spec) {
-  if (spec.rfind("gen:", 0) == 0) return generate_input(spec);
+  if (spec.rfind("gen:", 0) == 0) return graph::generate_spec(spec);
   return graph::load_graph(spec);
 }
 

@@ -71,6 +71,18 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # changes with its block size.
 "$build_dir/bench/bench_multi_rhs" --quick=1
 
+# Solver-service smoke: boot the daemon on a throwaway socket, replay a
+# quick request stream against it (singletons and coalesced batches mixed,
+# every reply memcmp'd against the local per-RHS oracle), then take the
+# kShutdown drain path. load_gen exits nonzero on any bit-identity
+# violation or protocol error; a hung drain trips the wait.
+sock="$(mktemp -u /tmp/spar_check_XXXXXX.sock)"
+"$build_dir/src/server/solver_server" --socket="$sock" --max-batch=8 --deadline-us=1500 &
+server_pid=$!
+for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.05; done
+"$build_dir/src/server/load_gen" --quick --socket="$sock" --shutdown-server
+wait "$server_pid"
+
 # Documentation gates: undocumented public symbols in src/solver and
 # src/resistance, and broken relative links in the top-level markdown.
 scripts/check_docs.sh

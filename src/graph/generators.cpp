@@ -5,9 +5,13 @@
 #include <map>
 #include <numeric>
 #include <set>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "support/assert.hpp"
+#include "support/error.hpp"
+#include "support/options.hpp"
 #include "support/rng.hpp"
 
 namespace spar::graph {
@@ -307,6 +311,60 @@ Graph randomize_weights(const Graph& g, double log_range, std::uint64_t seed) {
     out.add_edge(edges[id].u, edges[id].v, edges[id].w * w);
   }
   return out;
+}
+
+
+namespace {
+
+std::vector<std::string> split_spec(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t next = s.find(sep, pos);
+    out.push_back(s.substr(pos, next == std::string::npos ? next : next - pos));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Graph generate_spec(const std::string& spec) {
+  const std::string body = spec.rfind("gen:", 0) == 0 ? spec.substr(4) : spec;
+  const auto parts = split_spec(body, ':');
+  if (parts.empty() || parts[0].empty())
+    throw spar::Error("bad gen spec: " + spec);
+  const std::string& family = parts[0];
+  const std::uint64_t seed =
+      parts.size() > 2 ? support::parse_number<std::uint64_t>("gen seed", parts[2]) : 1;
+  auto dims = [&](const char* what) {
+    if (parts.size() < 2)
+      throw spar::Error(std::string("gen:") + family + " needs " + what);
+    return parts[1];
+  };
+  if (family == "grid" || family == "wgrid") {
+    const auto rc = split_spec(dims("RxC"), 'x');
+    if (rc.size() != 2) throw spar::Error("gen:grid wants RxC, got " + dims("RxC"));
+    const auto g =
+        grid2d(support::parse_number<Vertex>("grid rows", rc[0]),
+               support::parse_number<Vertex>("grid cols", rc[1]));
+    return family == "wgrid" ? randomize_weights(g, 2.0, seed) : g;
+  }
+  const auto n = support::parse_number<Vertex>("gen size", dims("a size"));
+  if (family == "er") {
+    const double p = std::min(1.0, 16.0 / static_cast<double>(n));
+    return connected_erdos_renyi(n, p, seed);
+  }
+  if (family == "wer") {
+    const double p = std::min(1.0, 16.0 / static_cast<double>(n));
+    return randomize_weights(connected_erdos_renyi(n, p, seed), 2.0, seed + 1);
+  }
+  if (family == "complete") return complete_graph(n);
+  if (family == "pa") return preferential_attachment(n, 4, seed);
+  if (family == "ws") return watts_strogatz(n, 4, 0.1, seed);
+  throw spar::Error("unknown gen family: " + family +
+                    " (want grid, wgrid, er, wer, complete, pa, ws)");
 }
 
 }  // namespace spar::graph

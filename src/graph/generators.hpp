@@ -15,10 +15,20 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "graph/graph.hpp"
 
 namespace spar::graph {
+
+/// Parses a `<family>:<params>[:seed]` synthetic-workload spec (a leading
+/// `gen:` prefix is accepted and stripped): `grid:RxC`, `wgrid:RxC`
+/// (randomized weights), `er:N` / `wer:N` (connected Erdos-Renyi, expected
+/// degree 16), `complete:N`, `pa:N` (preferential attachment), `ws:N`
+/// (Watts-Strogatz). This is the one gen vocabulary shared by sparsify_tool
+/// and the solver service's load generator, so client and server can name
+/// the SAME graph from a spec string. Throws spar::Error on malformed specs.
+Graph generate_spec(const std::string& spec);
 
 Graph path_graph(Vertex n, double w = 1.0);
 Graph cycle_graph(Vertex n, double w = 1.0);

@@ -10,12 +10,12 @@
 #include <vector>
 
 #include "support/assert.hpp"
-#include "support/parallel.hpp"
+#include "support/framing.hpp"
 #include "support/rng.hpp"
 
 namespace spar::graph {
 
-namespace par = support::par;
+namespace framing = support::framing;
 
 namespace {
 
@@ -33,86 +33,14 @@ static_assert(sizeof(Header) == 40, "binary header layout is part of the format"
 // anything bigger is a corrupt or hostile header, not a graph.
 constexpr std::uint64_t kMaxEdges = std::uint64_t{1} << 40;
 
-constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
-
-std::uint64_t fnv1a(const unsigned char* p, std::size_t len, std::uint64_t h) {
-  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= kPrime;
-  }
-  return h;
-}
-
-/// Chunked FNV-1a folded in chunk order. Chunk boundaries come from
-/// default_grain (a pure function of the length), so the value is identical
-/// for every thread count and for the serial build.
-std::uint64_t checksum_bytes(const void* data, std::size_t len, std::uint64_t seed) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  return par::parallel_reduce(
-      0, static_cast<std::int64_t>(len), support::mix64(seed, len),
-      [&](std::int64_t cb, std::int64_t ce) {
-        return fnv1a(bytes + cb, static_cast<std::size_t>(ce - cb), kFnvOffsetBasis);
-      },
-      [](std::uint64_t acc, std::uint64_t part) { return support::mix64(acc, part); });
-}
-
-/// Incremental mirror of checksum_bytes for one payload array whose bytes
-/// arrive in sequential slices: chunk boundaries are derived from the TOTAL
-/// array length (exactly as the whole-file reader derives them), per-chunk
-/// FNV states roll across feed() calls, and fold(seed) reproduces
-/// checksum_bytes(data, len, seed) bit for bit. Chunk count is capped at 4096
-/// by default_grain, so the deferred part list is tiny.
-struct ArrayHasher {
-  std::uint64_t len = 0;
-  std::int64_t grain = 1;
-  std::vector<std::uint64_t> parts;
-  std::uint64_t cur = kFnvOffsetBasis;
-  std::int64_t in_chunk = 0;
-
-  void init(std::uint64_t total_bytes) {
-    len = total_bytes;
-    grain = par::default_grain(static_cast<std::int64_t>(total_bytes));
-    parts.clear();
-    cur = kFnvOffsetBasis;
-    in_chunk = 0;
-  }
-
-  void feed(const void* data, std::size_t k) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    while (k > 0) {
-      const auto take = std::min<std::size_t>(k, static_cast<std::size_t>(grain - in_chunk));
-      cur = fnv1a(p, take, cur);
-      in_chunk += static_cast<std::int64_t>(take);
-      p += take;
-      k -= take;
-      if (in_chunk == grain) {
-        parts.push_back(cur);
-        cur = kFnvOffsetBasis;
-        in_chunk = 0;
-      }
-    }
-  }
-
-  /// Finalize (flushing a short tail chunk) and fold under `seed`, exactly as
-  /// checksum_bytes combines: identity mix64(seed, len), then parts in order.
-  std::uint64_t fold(std::uint64_t seed) {
-    if (in_chunk > 0) {
-      parts.push_back(cur);
-      cur = kFnvOffsetBasis;
-      in_chunk = 0;
-    }
-    std::uint64_t h = support::mix64(seed, len);
-    for (const std::uint64_t part : parts) h = support::mix64(h, part);
-    return h;
-  }
-};
-
+// The checksum discipline (chunked FNV-1a folded in chunk order, incremental
+// slice mirror) lives in support/framing.hpp, shared with the solver-service
+// wire protocol. The values are part of the SPARBIN v1 format.
 std::uint64_t payload_checksum(const EdgeView& view) {
   std::uint64_t h = support::mix64(view.num_vertices, view.size);
-  h = checksum_bytes(view.u, view.size * sizeof(Vertex), h);
-  h = checksum_bytes(view.v, view.size * sizeof(Vertex), h);
-  h = checksum_bytes(view.w, view.size * sizeof(double), h);
+  h = framing::checksum_bytes(view.u, view.size * sizeof(Vertex), h);
+  h = framing::checksum_bytes(view.v, view.size * sizeof(Vertex), h);
+  h = framing::checksum_bytes(view.w, view.size * sizeof(double), h);
   return h;
 }
 
@@ -241,7 +169,7 @@ struct BinaryEdgeStream::Impl {
   Header h = {};
   std::size_t cursor = 0;  ///< edges served so far
   std::uint64_t u_off = 0, v_off = 0, w_off = 0;
-  ArrayHasher hash_u, hash_v, hash_w;
+  framing::ChunkedHasher hash_u, hash_v, hash_w;
   bool verified = false;
 };
 
@@ -293,7 +221,7 @@ std::size_t BinaryEdgeStream::next_batch(EdgeArena& out, std::size_t max_edges) 
   // slice rolls into the incremental payload checksum.
   out.resize(static_cast<Vertex>(s.h.n), k);
   const auto read_slice = [&](std::uint64_t base, void* dst, std::size_t elem_bytes,
-                              ArrayHasher& hasher, const char* what) {
+                              framing::ChunkedHasher& hasher, const char* what) {
     s.in.seekg(static_cast<std::streamoff>(base + s.cursor * elem_bytes));
     read_raw(s.in, dst, k * elem_bytes, what);
     hasher.feed(dst, k * elem_bytes);

@@ -1,0 +1,176 @@
+#include "server/protocol.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/framing.hpp"
+#include "support/rng.hpp"
+
+namespace spar::server {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'P', 'A', 'R', 'F', 'R', 'M', '\0'};
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t frame_checksum(MsgType type, std::uint64_t request_id,
+                             std::span<const std::uint8_t> payload) {
+  const std::uint64_t seed =
+      support::mix64(static_cast<std::uint64_t>(type), request_id);
+  return support::framing::checksum_bytes(payload.data(), payload.size(), seed);
+}
+
+void send_frame(const Socket& sock, MsgType type, std::uint64_t request_id,
+                std::span<const std::uint8_t> payload) {
+  std::uint8_t header[kFrameHeaderBytes];
+  std::memcpy(header, kMagic, 8);
+  put_u32(header + 8, kProtocolVersion);
+  put_u32(header + 12, static_cast<std::uint32_t>(type));
+  put_u64(header + 16, request_id);
+  put_u64(header + 24, payload.size());
+  put_u64(header + 32, frame_checksum(type, request_id, payload));
+  sock.write_exact(header, sizeof(header));
+  if (!payload.empty()) sock.write_exact(payload.data(), payload.size());
+}
+
+bool recv_frame(const Socket& sock, Frame& out) {
+  std::uint8_t header[kFrameHeaderBytes];
+  if (!sock.read_exact(header, sizeof(header))) return false;
+  if (std::memcmp(header, kMagic, 8) != 0)
+    throw spar::Error("protocol: bad frame magic");
+  out.header.version = get_u32(header + 8);
+  if (out.header.version != kProtocolVersion)
+    throw spar::Error("protocol: version mismatch (got " +
+                      std::to_string(out.header.version) + ", want " +
+                      std::to_string(kProtocolVersion) + ")");
+  out.header.type = static_cast<MsgType>(get_u32(header + 12));
+  out.header.request_id = get_u64(header + 16);
+  out.header.payload_len = get_u64(header + 24);
+  out.header.checksum = get_u64(header + 32);
+  if (out.header.payload_len > kMaxPayloadBytes)
+    throw spar::Error("protocol: payload too large (" +
+                      std::to_string(out.header.payload_len) + " bytes)");
+  out.payload.resize(static_cast<std::size_t>(out.header.payload_len));
+  if (!out.payload.empty() &&
+      !sock.read_exact(out.payload.data(), out.payload.size()))
+    throw spar::Error("protocol: EOF inside payload");
+  const std::uint64_t want =
+      frame_checksum(out.header.type, out.header.request_id, out.payload);
+  if (want != out.header.checksum)
+    throw spar::Error("protocol: payload checksum mismatch");
+  return true;
+}
+
+void PayloadWriter::u32(std::uint32_t v) {
+  const std::size_t at = bytes_.size();
+  bytes_.resize(at + 4);
+  put_u32(bytes_.data() + at, v);
+}
+
+void PayloadWriter::u64(std::uint64_t v) {
+  const std::size_t at = bytes_.size();
+  bytes_.resize(at + 8);
+  put_u64(bytes_.data() + at, v);
+}
+
+void PayloadWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void PayloadWriter::f64_span(std::span<const double> v) {
+  // Doubles go over the wire as their little-endian IEEE-754 bit patterns;
+  // bit-identity end to end is part of the service contract.
+  const std::size_t at = bytes_.size();
+  bytes_.resize(at + 8 * v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v[i], sizeof(bits));
+    put_u64(bytes_.data() + at + 8 * i, bits);
+  }
+}
+
+void PayloadWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void PayloadReader::need(std::size_t k) const {
+  if (pos_ + k > bytes_.size())
+    throw spar::Error("protocol: truncated payload (want " + std::to_string(k) +
+                      " more bytes, have " + std::to_string(bytes_.size() - pos_) +
+                      ")");
+}
+
+std::uint8_t PayloadReader::u8() {
+  need(1);
+  return bytes_[pos_++];
+}
+
+std::uint32_t PayloadReader::u32() {
+  need(4);
+  const std::uint32_t v = get_u32(bytes_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t PayloadReader::u64() {
+  need(8);
+  const std::uint64_t v = get_u64(bytes_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double PayloadReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void PayloadReader::f64_span(std::span<double> out) {
+  need(8 * out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint64_t bits = get_u64(bytes_.data() + pos_ + 8 * i);
+    std::memcpy(&out[i], &bits, sizeof(double));
+  }
+  pos_ += 8 * out.size();
+}
+
+std::string PayloadReader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+void send_error(const Socket& sock, std::uint64_t request_id, const std::string& text) {
+  PayloadWriter w;
+  w.str(text);
+  send_frame(sock, MsgType::kError, request_id, w.bytes());
+}
+
+}  // namespace spar::server

@@ -1,0 +1,81 @@
+// Minimal AF_UNIX stream-socket wrappers for the solver service.
+//
+// The service is local-only by design (a solver daemon sharing prebuilt
+// inverse chains between processes on one machine), so UNIX domain sockets
+// are the right transport: no TCP stack, no address configuration, file
+// permissions as access control. These wrappers add exactly what the wire
+// protocol needs on top of the raw fds:
+//
+//  * read_exact / write_exact - full-length transfers with EINTR retry
+//    (short reads/writes are normal on stream sockets; the framing layer
+//    must never see them)
+//  * RAII ownership - a Socket closes its fd on destruction, so an error
+//    path can't leak descriptors
+//
+// Nothing here knows about frames or messages; see protocol.hpp for that.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace spar::server {
+
+/// One connected UNIX-domain stream socket (client side or an accepted
+/// server-side connection). Move-only; closes the fd on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Reads exactly `len` bytes, retrying on EINTR and short reads. Returns
+  /// false on clean EOF before the first byte; throws spar::Error on I/O
+  /// errors or EOF mid-message (a truncated frame is a protocol violation,
+  /// not a clean shutdown).
+  bool read_exact(void* data, std::size_t len) const;
+
+  /// Writes exactly `len` bytes, retrying on EINTR and short writes.
+  /// Throws spar::Error on failure (including EPIPE from a closed peer).
+  void write_exact(const void* data, std::size_t len) const;
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening UNIX-domain socket bound to a filesystem path. Unlinks any
+/// stale socket file at bind time and removes its own on destruction.
+class Listener {
+ public:
+  explicit Listener(const std::string& path, int backlog = 64);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Blocks until a client connects; returns the accepted connection.
+  /// Returns an invalid Socket if the listener was shut down concurrently.
+  Socket accept() const;
+
+  /// Wakes any blocked accept() by closing the listening fd (idempotent).
+  void shutdown();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Connects to a listening UNIX socket at `path`. Throws spar::Error if the
+/// server is not there.
+Socket connect_unix(const std::string& path);
+
+}  // namespace spar::server

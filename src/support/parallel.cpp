@@ -5,7 +5,9 @@
 namespace spar::support::par {
 
 std::string backend_description() {
-  std::string out = openmp_enabled() ? "openmp" : "serial";
+  std::string out = TaskPool::current() != nullptr ? "task_pool"
+                    : openmp_enabled()            ? "openmp"
+                                                  : "serial";
   out += ", max_threads=" + std::to_string(max_threads());
   out += ", hardware_threads=" + std::to_string(hardware_threads());
   return out;

@@ -2,13 +2,16 @@
 //
 // Every parallel loop in the library goes through this header instead of raw
 // OpenMP pragmas, for three reasons:
-//  * one place controls the backend: OpenMP when compiled with
-//    SPAR_HAS_OPENMP (the CMake option SPAR_ENABLE_OPENMP), a serial
-//    fallback otherwise -- no other file includes <omp.h>;
+//  * one place controls the backend: a persistent TaskPool when one is
+//    current on the calling thread (support/task_pool.hpp -- the solver
+//    service's executors), else OpenMP when compiled with SPAR_HAS_OPENMP
+//    (the CMake option SPAR_ENABLE_OPENMP), a serial fallback otherwise --
+//    no other file includes <omp.h>;
 //  * determinism: parallel_reduce splits the range into chunks whose
-//    boundaries depend only on (range, grain) -- never on the thread count --
-//    and combines partials in chunk order, so floating-point results are
-//    bit-identical for 1 and N threads, and identical to the serial build;
+//    boundaries depend only on (range, grain) -- never on the thread count
+//    OR the backend -- and combines partials in chunk order, so
+//    floating-point results are bit-identical for 1 and N threads, under
+//    OpenMP or a TaskPool, and identical to the serial build;
 //  * per-chunk RNG streams: chunk_rng(seed, chunk) gives randomized parallel
 //    algorithms an independent deterministic generator per chunk, the
 //    counter-based scheme the paper's CRCW PRAM algorithms assume.
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "support/rng.hpp"
+#include "support/task_pool.hpp"
 
 #if defined(SPAR_HAS_OPENMP)
 #include <omp.h>
@@ -37,8 +41,10 @@ constexpr bool openmp_enabled() noexcept {
 #endif
 }
 
-/// Current thread budget for parallel regions (1 in the serial build).
+/// Current thread budget for parallel regions: the current TaskPool's width
+/// when one is scoped in, else OpenMP's budget (1 in the serial build).
 inline int max_threads() noexcept {
+  if (const TaskPool* pool = TaskPool::current()) return pool->parallel_width();
 #if defined(SPAR_HAS_OPENMP)
   return omp_get_max_threads();
 #else
@@ -56,8 +62,11 @@ inline int hardware_threads() noexcept {
 }
 
 /// Worker id inside a parallel region; 0 outside any region and in the
-/// serial build. Always < max_threads() at region entry.
+/// serial build. Always < max_threads() at region entry. TaskPool workers
+/// report their pool worker id (1..workers), so per-thread accounting like
+/// WorkCounter stays race-free under pool execution too.
 inline int thread_id() noexcept {
+  if (detail::tls_home_pool != nullptr) return detail::tls_worker_id;
 #if defined(SPAR_HAS_OPENMP)
   return omp_get_thread_num();
 #else
@@ -119,6 +128,19 @@ void parallel_for(std::int64_t begin, std::int64_t end, F&& f,
                   ParOpts opts = {}) {
   const std::int64_t n = end - begin;
   if (n <= 0) return;
+  if (TaskPool* pool = TaskPool::current();
+      pool != nullptr && opts.enable && n > 1 && pool->parallel_width() > 1) {
+    // Pool path: chunk with the same boundary function as every other loop
+    // (iterations are independent, so the grouping is unobservable).
+    const std::int64_t grain = opts.grain > 0 ? opts.grain : default_grain(n);
+    const std::int64_t chunks = (n + grain - 1) / grain;
+    pool->run_indexed(chunks, [&](std::int64_t c, int /*worker*/) {
+      const std::int64_t cb = begin + c * grain;
+      const std::int64_t ce = std::min(end, cb + grain);
+      for (std::int64_t i = cb; i < ce; ++i) f(i);
+    });
+    return;
+  }
 #if defined(SPAR_HAS_OPENMP)
   if (opts.enable && n > 1 && max_threads() > 1) {
 #pragma omp parallel for schedule(static)
@@ -147,6 +169,14 @@ void parallel_chunks(std::int64_t begin, std::int64_t end, F&& f,
     const std::int64_t ce = std::min(end, cb + grain);
     f(cb, ce, c, worker);
   };
+  if (TaskPool* pool = TaskPool::current();
+      pool != nullptr && opts.enable && chunks > 1 && pool->parallel_width() > 1) {
+    // Pool path: chunk boundaries are identical to the OpenMP path (they
+    // depend only on range and grain) and run_indexed's claim order matches
+    // schedule(dynamic, 1); worker ids stay < max_threads() = pool width.
+    pool->run_indexed(chunks, run_chunk);
+    return;
+  }
 #if defined(SPAR_HAS_OPENMP)
   if (opts.enable && chunks > 1 && max_threads() > 1) {
 #pragma omp parallel for schedule(dynamic, 1)

@@ -1,0 +1,129 @@
+#include "support/task_pool.hpp"
+
+#include <algorithm>
+
+namespace spar::support::par {
+
+TaskPool::TaskPool(int threads) {
+  const int count = std::max(threads, 1);
+  threads_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    threads_.emplace_back([this, i] { worker_main(i + 1); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::submit(std::function<void()> fn) { submit_nothrow(std::move(fn)); }
+
+void TaskPool::submit_nothrow(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    detached_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void TaskPool::worker_main(int id) {
+  detail::tls_home_pool = this;
+  detail::tls_worker_id = id;
+  // Workers are permanently current on their own pool: parallel_* loops
+  // inside any task dispatch back here (the helping claim loop makes that
+  // nest-safe) instead of spinning up OpenMP teams underneath the pool.
+  detail::tls_current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    Group* group = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || !detached_.empty() || !active_.empty(); });
+      if (!detached_.empty()) {
+        // Detached tasks drain even during shutdown, so a service that
+        // enqueued work before stopping never loses it.
+        task = std::move(detached_.front());
+        detached_.pop_front();
+      } else if (!active_.empty()) {
+        group = active_.front();
+        // Taken in the same critical section: the owning caller cannot
+        // destroy the group while claimers > 0.
+        ++group->claimers;
+      } else {
+        return;  // stop_ and nothing left
+      }
+    }
+    if (task) {
+      task();  // a throwing detached task terminates; use async() for results
+      continue;
+    }
+    claim_loop(*group, id);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --group->claimers;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void TaskPool::claim_loop(Group& g, int worker) {
+  for (;;) {
+    const std::int64_t i = g.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= g.count) break;
+    try {
+      (*g.body)(i, worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(g.error_mu);
+      if (!g.error) g.error = std::current_exception();
+    }
+    if (g.done.fetch_add(1, std::memory_order_acq_rel) + 1 == g.count) {
+      // Pair the notify with the waiter's predicate lock so it cannot slip
+      // between the waiter's check and its sleep.
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+  retire(g);
+}
+
+void TaskPool::retire(Group& g) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = active_.begin(); it != active_.end(); ++it) {
+    if (*it == &g) {
+      active_.erase(it);
+      break;
+    }
+  }
+}
+
+void TaskPool::run_indexed(std::int64_t count,
+                           const std::function<void(std::int64_t, int)>& body) {
+  if (count <= 0) return;
+  const int me = (detail::tls_home_pool == this) ? detail::tls_worker_id : 0;
+  if (count == 1 || workers() == 0) {
+    for (std::int64_t i = 0; i < count; ++i) body(i, me);
+    return;
+  }
+  Group g;
+  g.body = &body;
+  g.count = count;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    active_.push_back(&g);
+  }
+  work_cv_.notify_all();
+  claim_loop(g, me);  // help: claim our own group's indices alongside workers
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return g.done.load(std::memory_order_acquire) == g.count && g.claimers == 0;
+    });
+  }
+  if (g.error) std::rethrow_exception(g.error);
+}
+
+}  // namespace spar::support::par

@@ -1,0 +1,163 @@
+// Persistent worker-thread pool: the async execution substrate behind the
+// solver service (src/server) and, when scoped in, behind the parallel_*
+// loops of support/parallel.hpp.
+//
+// The fork-join substrate (parallel_for / parallel_chunks / parallel_reduce)
+// spins a parallel region up and down per call, which is fine inside one
+// algorithm but wrong for a long-lived service: admission, batching and
+// solves must run CONCURRENTLY, and a solve's internal parallel loops must
+// not fight the service's own threads for cores (oversubscription). TaskPool
+// is the promotion: a fixed set of worker threads that execute
+//
+//  * detached tasks / futures (submit() / async()) -- the service's batch
+//    executors, and
+//  * indexed groups (run_indexed()) -- the engine the parallel_* loops
+//    dispatch through when a pool is current on the calling thread.
+//
+// Scoping: TaskPool::Use pins a pool as "current" for the calling thread;
+// pool workers are permanently current on themselves. While a pool is
+// current, parallel_for / parallel_chunks / parallel_reduce (and everything
+// built on them) run their chunks on the pool instead of OpenMP. Chunk
+// boundaries and reduction combine order are computed exactly as before --
+// they depend only on (range, grain), never on who executes -- so every
+// deterministic contract of the substrate (bit-identical reductions, stable
+// edge ids, golden hashes) holds verbatim under pool execution.
+//
+// Deadlock freedom / no oversubscription: run_indexed is a claim loop -- the
+// calling thread HELPS, claiming indices of its own group alongside the
+// workers, and a nested run_indexed from inside a task claims its own
+// indices the same way. A thread therefore never blocks while its group has
+// unclaimed work, nesting cannot deadlock, and the thread count in flight
+// never exceeds workers() + external callers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace spar::support::par {
+
+class TaskPool;
+
+namespace detail {
+/// Thread-local "current pool" consulted by the parallel_* loops; set by
+/// TaskPool::Use on external threads and permanently by workers on
+/// themselves.
+inline thread_local TaskPool* tls_current_pool = nullptr;
+/// Pool this thread is a worker of (null for external threads).
+inline thread_local TaskPool* tls_home_pool = nullptr;
+/// Worker id inside tls_home_pool: 1..workers(); 0 for external threads.
+inline thread_local int tls_worker_id = 0;
+}  // namespace detail
+
+class TaskPool {
+ public:
+  /// Starts `threads` workers (clamped to >= 1).
+  explicit TaskPool(int threads);
+
+  /// Drains detached tasks, then stops and joins the workers. Destroying a
+  /// pool while another thread is inside run_indexed / waiting on an async
+  /// future from it is a caller bug.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Number of worker threads.
+  int workers() const noexcept { return static_cast<int>(threads_.size()); }
+
+  /// Widest set of threads one run_indexed group can execute on: the workers
+  /// plus the (helping) calling thread. This is what max_threads() reports
+  /// while the pool is current, and the bound on worker ids passed to group
+  /// bodies.
+  int parallel_width() const noexcept { return workers() + 1; }
+
+  /// Enqueues a detached task. `fn` must not throw (a throwing detached task
+  /// calls std::terminate via the worker); use async() when the result or
+  /// the exception matters.
+  void submit(std::function<void()> fn);
+
+  /// Enqueues `fn` and returns a future for its result; exceptions propagate
+  /// through the future.
+  template <typename F>
+  auto async(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> out = task->get_future();
+    submit_nothrow([task] { (*task)(); });
+    return out;
+  }
+
+  /// Runs body(index, worker) for every index in [0, count), blocking until
+  /// all complete. Indices are claimed dynamically by the workers AND the
+  /// calling thread (which helps); `worker` identifies the executing thread,
+  /// is stable for the duration of the call, and is < parallel_width().
+  /// Safe to call from inside pool tasks (nested groups claim the same way).
+  /// The first exception a body throws is rethrown here after the group
+  /// drains.
+  void run_indexed(std::int64_t count,
+                   const std::function<void(std::int64_t, int)>& body);
+
+  /// The pool current on this thread (set by Use, or the worker's own pool),
+  /// or null. Consulted by the parallel_* loops in parallel.hpp.
+  static TaskPool* current() noexcept { return detail::tls_current_pool; }
+
+  /// RAII scope pinning a pool as current() for this thread, so parallel_*
+  /// loops (and the algorithms built on them) execute on the pool.
+  class Use {
+   public:
+    explicit Use(TaskPool* pool) : saved_(detail::tls_current_pool) {
+      detail::tls_current_pool = pool;
+    }
+    ~Use() { detail::tls_current_pool = saved_; }
+    Use(const Use&) = delete;
+    Use& operator=(const Use&) = delete;
+
+   private:
+    TaskPool* saved_;
+  };
+
+ private:
+  /// One run_indexed call in flight: indices are claimed via `next`,
+  /// completion tracked via `done`. Lives on the caller's stack; the caller
+  /// may not return (and destroy it) until done == count AND no worker still
+  /// holds a pointer to it (`claimers`, guarded by mu_, incremented in the
+  /// same critical section in which a worker takes the group from active_).
+  struct Group {
+    const std::function<void(std::int64_t, int)>* body = nullptr;
+    std::int64_t count = 0;
+    std::atomic<std::int64_t> next{0};
+    std::atomic<std::int64_t> done{0};
+    int claimers = 0;  ///< workers inside claim_loop on this group (mu_)
+    std::mutex error_mu;
+    std::exception_ptr error;  ///< first exception, guarded by error_mu
+  };
+
+  void submit_nothrow(std::function<void()> fn);
+  void worker_main(int id);
+  /// Claims and runs indices of `g` until exhausted; `worker` is the
+  /// executing thread's id for body calls.
+  void claim_loop(Group& g, int worker);
+  /// Removes `g` from the active list if still there (called once its
+  /// indices are exhausted).
+  void retire(Group& g);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: new tasks/groups or stop
+  std::condition_variable done_cv_;  ///< run_indexed callers: group finished
+  std::deque<std::function<void()>> detached_;
+  std::vector<Group*> active_;  ///< groups with unclaimed indices
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace spar::support::par

@@ -1,0 +1,188 @@
+// ChainRegistry: the resident-chain cache behind the solver service.
+//
+// Contracts under test:
+//  * LRU eviction under a byte budget, most-recently-used entry exempt;
+//  * rebuild-after-evict is EXACT: deterministic chain construction makes a
+//    rebuilt chain solve bit-identically to the evicted one;
+//  * get-or-build is single-flight: concurrent cold acquires share one
+//    build (run under TSan this also proves the locking discipline);
+//  * eviction never invalidates in-flight handles.
+#include "server/chain_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "solver/solver.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace spar::server {
+namespace {
+
+ChainStats stats_for(const ChainRegistry& reg, const std::string& name) {
+  for (const ChainStats& s : reg.stats())
+    if (s.name == name) return s;
+  ADD_FAILURE() << "no stats for " << name;
+  return {};
+}
+
+linalg::Vector test_rhs(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  linalg::Vector b(n);
+  for (double& v : b) v = rng.normal();
+  linalg::remove_mean(b);
+  return b;
+}
+
+TEST(ChainRegistry, UnknownNameThrows) {
+  ChainRegistry reg;
+  EXPECT_THROW(reg.acquire("nope"), spar::Error);
+}
+
+TEST(ChainRegistry, BuildsOnceThenHits) {
+  ChainRegistry reg;
+  reg.put_graph("g", graph::grid2d(12, 12));
+  EXPECT_TRUE(reg.has_graph("g"));
+  const ChainHandle a = reg.acquire("g");
+  const ChainHandle b = reg.acquire("g");
+  EXPECT_EQ(a.get(), b.get());  // the same resident entry
+  const ChainStats s = stats_for(reg, "g");
+  EXPECT_EQ(s.builds, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_TRUE(s.resident);
+  EXPECT_GT(s.memory_bytes, 0u);
+  EXPECT_EQ(reg.resident_bytes(), s.memory_bytes);
+}
+
+TEST(ChainRegistry, EvictsLeastRecentlyUsedUnderBudget) {
+  // Budget sized for ~2 of 3 same-shape chains: after touching a, b, c in
+  // that order, `a` (the LRU entry) must be the one evicted.
+  ChainRegistry probe;
+  probe.put_graph("x", graph::grid2d(10, 10));
+  const std::size_t one_chain = probe.acquire("x")->memory_bytes;
+
+  RegistryOptions opt;
+  opt.memory_budget_bytes = 2 * one_chain + one_chain / 2;
+  ChainRegistry reg(opt);
+  reg.put_graph("a", graph::grid2d(10, 10));
+  reg.put_graph("b", graph::grid2d(10, 10));
+  reg.put_graph("c", graph::grid2d(10, 10));
+  reg.acquire("a");
+  reg.acquire("b");
+  reg.acquire("c");
+  EXPECT_FALSE(stats_for(reg, "a").resident) << "LRU entry must be evicted";
+  EXPECT_TRUE(stats_for(reg, "b").resident);
+  EXPECT_TRUE(stats_for(reg, "c").resident);
+  EXPECT_EQ(stats_for(reg, "a").evictions, 1u);
+  EXPECT_LE(reg.resident_bytes(), opt.memory_budget_bytes);
+
+  // Touch b (now most recent), bring a back: c is now LRU and must go.
+  reg.acquire("b");
+  reg.acquire("a");
+  EXPECT_FALSE(stats_for(reg, "c").resident);
+  EXPECT_TRUE(stats_for(reg, "a").resident);
+  EXPECT_EQ(stats_for(reg, "a").builds, 2u) << "re-acquire after evict rebuilds";
+}
+
+TEST(ChainRegistry, MostRecentEntrySurvivesImpossiblyTinyBudget) {
+  RegistryOptions opt;
+  opt.memory_budget_bytes = 1;  // smaller than any chain
+  ChainRegistry reg(opt);
+  reg.put_graph("a", graph::grid2d(8, 8));
+  reg.put_graph("b", graph::grid2d(8, 8));
+  EXPECT_NE(reg.acquire("a"), nullptr);
+  EXPECT_TRUE(stats_for(reg, "a").resident) << "newest entry is never evicted";
+  EXPECT_NE(reg.acquire("b"), nullptr);
+  EXPECT_TRUE(stats_for(reg, "b").resident);
+  EXPECT_FALSE(stats_for(reg, "a").resident) << "a was LRU once b arrived";
+}
+
+TEST(ChainRegistry, RebuildAfterEvictionIsBitIdentical) {
+  RegistryOptions opt;
+  ChainRegistry probe;
+  probe.put_graph("x", graph::grid2d(11, 11));
+  opt.memory_budget_bytes = probe.acquire("x")->memory_bytes + 1;
+
+  ChainRegistry reg(opt);
+  reg.put_graph("a", graph::grid2d(11, 11));
+  reg.put_graph("b", graph::grid2d(7, 13));
+
+  const ChainHandle first = reg.acquire("a");
+  const linalg::Vector rhs = test_rhs(first->matrix.dimension(), 31);
+  solver::SolveOptions sopt;
+  const auto before = solver::solve_sdd(first->matrix, first->chain, rhs, sopt);
+
+  reg.acquire("b");  // evicts a (budget fits ~one chain)
+  EXPECT_FALSE(stats_for(reg, "a").resident);
+
+  const ChainHandle rebuilt = reg.acquire("a");
+  EXPECT_NE(first.get(), rebuilt.get()) << "a genuinely rebuilt entry";
+  const auto after = solver::solve_sdd(rebuilt->matrix, rebuilt->chain, rhs, sopt);
+  ASSERT_EQ(before.solution.size(), after.solution.size());
+  EXPECT_EQ(std::memcmp(before.solution.data(), after.solution.data(),
+                        before.solution.size() * sizeof(double)),
+            0)
+      << "rebuilt chain must reproduce the evicted chain's solves bit for bit";
+  EXPECT_EQ(before.iterations, after.iterations);
+}
+
+TEST(ChainRegistry, EvictionKeepsInFlightHandlesAlive) {
+  RegistryOptions opt;
+  opt.memory_budget_bytes = 1;
+  ChainRegistry reg(opt);
+  reg.put_graph("a", graph::grid2d(9, 9));
+  reg.put_graph("b", graph::grid2d(9, 9));
+  const ChainHandle held = reg.acquire("a");
+  reg.acquire("b");  // evicts a from the registry
+  EXPECT_FALSE(stats_for(reg, "a").resident);
+  // The handle still works: shared ownership, not registry lifetime.
+  const linalg::Vector rhs = test_rhs(held->matrix.dimension(), 5);
+  const auto report = solver::solve_sdd(held->matrix, held->chain, rhs, {});
+  EXPECT_TRUE(report.converged);
+}
+
+TEST(ChainRegistry, ConcurrentColdAcquiresAreSingleFlight) {
+  ChainRegistry reg;
+  reg.put_graph("g", graph::grid2d(16, 16));
+  constexpr int kThreads = 8;
+  std::vector<ChainHandle> handles(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> gate{0};
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      gate.fetch_add(1);
+      while (gate.load() < kThreads) {}  // maximize overlap on the cold slot
+      handles[t] = reg.acquire("g");
+    });
+  for (auto& th : threads) th.join();
+  const ChainStats s = stats_for(reg, "g");
+  EXPECT_EQ(s.builds, 1u) << "k concurrent cold acquires must share ONE build";
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
+  std::set<const ChainEntry*> unique;
+  for (const ChainHandle& h : handles) {
+    ASSERT_NE(h, nullptr);
+    unique.insert(h.get());
+  }
+  EXPECT_EQ(unique.size(), 1u);
+}
+
+TEST(ChainRegistry, PutGraphReplacesAndDropsStaleChain) {
+  ChainRegistry reg;
+  reg.put_graph("g", graph::grid2d(10, 10));
+  const ChainHandle old = reg.acquire("g");
+  reg.put_graph("g", graph::grid2d(14, 6));  // same name, new graph
+  EXPECT_FALSE(stats_for(reg, "g").resident);
+  const ChainHandle fresh = reg.acquire("g");
+  EXPECT_EQ(fresh->matrix.dimension(), 84u);
+  EXPECT_EQ(old->matrix.dimension(), 100u);  // held handle unaffected
+}
+
+}  // namespace
+}  // namespace spar::server

@@ -1,0 +1,153 @@
+// Wire protocol: framing, payload codecs, and the failure paths that keep a
+// corrupt or malicious peer from crashing the server (checksum mismatch,
+// truncated payloads, absurd length fields).
+#include "server/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace spar::server {
+namespace {
+
+/// A connected AF_UNIX socket pair for loopback tests.
+std::pair<Socket, Socket> make_pair() {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+TEST(Protocol, FrameRoundTripPreservesEverything) {
+  auto [a, b] = make_pair();
+  PayloadWriter w;
+  w.str("grid");
+  w.u64(123456789ull);
+  std::vector<double> xs = {1.5, -0.25, 3.141592653589793, -0.0};
+  w.f64_span(xs);
+  std::thread sender([&] { send_frame(a, MsgType::kSolve, 77, w.bytes()); });
+  Frame frame;
+  ASSERT_TRUE(recv_frame(b, frame));
+  sender.join();
+  EXPECT_EQ(frame.type(), MsgType::kSolve);
+  EXPECT_EQ(frame.request_id(), 77u);
+  PayloadReader r(frame.payload);
+  EXPECT_EQ(r.str(), "grid");
+  EXPECT_EQ(r.u64(), 123456789ull);
+  std::vector<double> got(4);
+  r.f64_span(got);
+  EXPECT_EQ(std::memcmp(got.data(), xs.data(), 4 * sizeof(double)), 0)
+      << "doubles must cross the wire bit-exactly";
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Protocol, EmptyPayloadRoundTrips) {
+  auto [a, b] = make_pair();
+  send_frame(a, MsgType::kShutdown, 0, {});
+  Frame frame;
+  ASSERT_TRUE(recv_frame(b, frame));
+  EXPECT_EQ(frame.type(), MsgType::kShutdown);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(Protocol, CleanEofAtFrameBoundaryReturnsFalse) {
+  auto [a, b] = make_pair();
+  a.close();
+  Frame frame;
+  EXPECT_FALSE(recv_frame(b, frame));
+}
+
+TEST(Protocol, CorruptedPayloadByteIsDetected) {
+  auto [a, b] = make_pair();
+  PayloadWriter w;
+  w.str("hello world");
+  // Serialize a valid frame into memory, flip one payload byte, replay it.
+  std::vector<std::uint8_t> raw(kFrameHeaderBytes);
+  {
+    // send through a socketpair to capture the exact on-wire bytes
+    auto [c, d] = make_pair();
+    send_frame(c, MsgType::kStats, 5, w.bytes());
+    raw.resize(kFrameHeaderBytes + w.bytes().size());
+    ASSERT_TRUE(d.read_exact(raw.data(), raw.size()));
+  }
+  raw[kFrameHeaderBytes + 3] ^= 0x40;
+  a.write_exact(raw.data(), raw.size());
+  Frame frame;
+  EXPECT_THROW(recv_frame(b, frame), spar::Error);
+}
+
+TEST(Protocol, CorruptedRequestIdIsDetected) {
+  // The checksum is seeded with mix64(type, request_id): tampering with the
+  // ID (splicing a reply onto another request) breaks verification even
+  // though the payload bytes are untouched.
+  auto [a, b] = make_pair();
+  PayloadWriter w;
+  w.u64(42);
+  std::vector<std::uint8_t> raw;
+  {
+    auto [c, d] = make_pair();
+    send_frame(c, MsgType::kSolve, 5, w.bytes());
+    raw.resize(kFrameHeaderBytes + w.bytes().size());
+    ASSERT_TRUE(d.read_exact(raw.data(), raw.size()));
+  }
+  raw[16] ^= 0x01;  // request_id field
+  a.write_exact(raw.data(), raw.size());
+  Frame frame;
+  EXPECT_THROW(recv_frame(b, frame), spar::Error);
+}
+
+TEST(Protocol, AbsurdPayloadLengthIsRejectedBeforeAllocation) {
+  auto [a, b] = make_pair();
+  std::uint8_t header[kFrameHeaderBytes] = {};
+  std::memcpy(header, "SPARFRM\0", 8);
+  header[8] = 1;                      // version
+  header[12] = 2;                     // type = kSolve
+  std::memset(header + 24, 0xff, 8);  // payload_len = 2^64 - 1
+  a.write_exact(header, sizeof(header));
+  Frame frame;
+  EXPECT_THROW(recv_frame(b, frame), spar::Error);
+}
+
+TEST(Protocol, VersionMismatchIsRejected) {
+  auto [a, b] = make_pair();
+  std::uint8_t header[kFrameHeaderBytes] = {};
+  std::memcpy(header, "SPARFRM\0", 8);
+  header[8] = 99;  // future version
+  a.write_exact(header, sizeof(header));
+  Frame frame;
+  EXPECT_THROW(recv_frame(b, frame), spar::Error);
+}
+
+TEST(Protocol, BadMagicIsRejected) {
+  auto [a, b] = make_pair();
+  std::uint8_t header[kFrameHeaderBytes] = {};
+  std::memcpy(header, "NOTSPAR\0", 8);
+  a.write_exact(header, sizeof(header));
+  Frame frame;
+  EXPECT_THROW(recv_frame(b, frame), spar::Error);
+}
+
+TEST(Protocol, PayloadReaderThrowsOnTruncation) {
+  const std::vector<std::uint8_t> three = {1, 2, 3};
+  PayloadReader r(three);
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_THROW(r.u32(), spar::Error);
+  PayloadReader r2(three);
+  EXPECT_THROW(r2.str(), spar::Error);  // u32 length alone needs 4 bytes
+}
+
+TEST(Protocol, StringWithEmbeddedNulRoundTrips) {
+  PayloadWriter w;
+  const std::string s("a\0b", 3);
+  w.str(s);
+  PayloadReader r(w.bytes());
+  EXPECT_EQ(r.str(), s);
+}
+
+}  // namespace
+}  // namespace spar::server

@@ -174,5 +174,44 @@ TEST(SolveSddMulti, EmptyBlockIsANoOp) {
   EXPECT_TRUE(report.columns.empty());
 }
 
+// The k = 1 fast path: a single-column block dispatches through the scalar
+// solve_sdd machinery (the blocked kernels are slower at k = 1 -- E13), and
+// the answer must stay bit-identical to solve_sdd, stats included, on both
+// the singular (projection) and nonsingular paths.
+TEST(SolveSddMulti, SingleColumnFastPathBitIdenticalToScalarSolve) {
+  SolveOptions opt;
+  opt.chain.max_levels = 5;
+  // Singular connected Laplacian.
+  {
+    const SDDMatrix m(graph::grid2d(11, 9));
+    const InverseChain chain(m, opt.chain);
+    const MultiVector b = random_rhs_block(m.dimension(), 1, 77, /*mean_free=*/true);
+    const auto multi = solve_sdd_multi(m, chain, b, opt);
+    const auto single = solve_sdd(m, chain, b.column_copy(0), opt);
+    ASSERT_EQ(multi.columns.size(), 1u);
+    EXPECT_TRUE(single.converged);
+    EXPECT_TRUE(multi.all_converged());
+    EXPECT_TRUE(bits_equal(multi.solutions.column_copy(0), single.solution))
+        << "k=1 fast path and solve_sdd solutions differ bitwise";
+    EXPECT_EQ(multi.columns[0].iterations, single.iterations);
+    EXPECT_EQ(multi.columns[0].relative_residual, single.relative_residual);
+    EXPECT_EQ(multi.iterations, single.iterations);
+    EXPECT_GT(multi.block_applies, 0u);
+  }
+  // Nonsingular SDD (positive slack).
+  {
+    const Graph g = graph::connected_erdos_renyi(140, 0.06, 5);
+    Vector slack(g.num_vertices(), 0.35);
+    const SDDMatrix m(g, std::move(slack));
+    const InverseChain chain(m, opt.chain);
+    const MultiVector b = random_rhs_block(m.dimension(), 1, 78, /*mean_free=*/false);
+    const auto multi = solve_sdd_multi(m, chain, b, opt);
+    const auto single = solve_sdd(m, chain, b.column_copy(0), opt);
+    EXPECT_TRUE(bits_equal(multi.solutions.column_copy(0), single.solution));
+    EXPECT_EQ(multi.columns[0].iterations, single.iterations);
+    EXPECT_EQ(multi.columns[0].relative_residual, single.relative_residual);
+  }
+}
+
 }  // namespace
 }  // namespace spar::solver

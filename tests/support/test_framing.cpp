@@ -1,0 +1,80 @@
+// framing.hpp: the checksum discipline shared by SPARBIN and the wire
+// protocol. The load-bearing property is EQUIVALENCE: ChunkedHasher fed any
+// slicing of a byte array must reproduce checksum_bytes over the whole
+// array bit for bit, and checksum_bytes itself must be independent of
+// thread count (chunk boundaries are a pure function of length). These are
+// the invariants that let io_binary.cpp hash streamed chunks while save
+// hashes whole arrays, and let socket peers verify frames they received in
+// arbitrary read() slices.
+#include "support/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace spar::support {
+namespace {
+
+std::vector<unsigned char> random_bytes(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<unsigned char> out(len);
+  for (auto& b : out) b = static_cast<unsigned char>(rng() & 0xff);
+  return out;
+}
+
+TEST(Framing, ChunkedHasherMatchesOneShotAcrossSlicings) {
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          std::size_t{4096}, std::size_t{100001}}) {
+    const auto bytes = random_bytes(len, 42 + len);
+    const std::uint64_t want = framing::checksum_bytes(bytes.data(), len, 7);
+    for (std::size_t slice : {std::size_t{1}, std::size_t{3}, std::size_t{1024},
+                              len == 0 ? std::size_t{1} : len}) {
+      framing::ChunkedHasher h;
+      h.init(len);
+      for (std::size_t at = 0; at < len; at += slice)
+        h.feed(bytes.data() + at, std::min(slice, len - at));
+      EXPECT_EQ(h.fold(7), want) << "len=" << len << " slice=" << slice;
+    }
+  }
+}
+
+TEST(Framing, ChecksumIndependentOfThreadCount) {
+  const auto bytes = random_bytes(250000, 9);
+  std::uint64_t first = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    par::ThreadLimit limit(threads);
+    const std::uint64_t got = framing::checksum_bytes(bytes.data(), bytes.size(), 3);
+    if (threads == 1)
+      first = got;
+    else
+      EXPECT_EQ(got, first) << "threads=" << threads;
+  }
+}
+
+TEST(Framing, SeedBindsContext) {
+  const auto bytes = random_bytes(512, 1);
+  EXPECT_NE(framing::checksum_bytes(bytes.data(), bytes.size(), 1),
+            framing::checksum_bytes(bytes.data(), bytes.size(), 2));
+}
+
+TEST(Framing, ContentSensitive) {
+  auto bytes = random_bytes(512, 5);
+  const std::uint64_t before = framing::checksum_bytes(bytes.data(), bytes.size(), 0);
+  bytes[300] ^= 1;
+  EXPECT_NE(framing::checksum_bytes(bytes.data(), bytes.size(), 0), before);
+}
+
+TEST(Framing, EmptyInputHashesSeedAndLengthOnly) {
+  // Zero-length payloads still bind the seed (mix64(seed, 0)): two empty
+  // frames with different contexts must not collide.
+  EXPECT_EQ(framing::checksum_bytes(nullptr, 0, 11), mix64(11, 0));
+  EXPECT_NE(framing::checksum_bytes(nullptr, 0, 11),
+            framing::checksum_bytes(nullptr, 0, 12));
+}
+
+}  // namespace
+}  // namespace spar::support
