@@ -36,6 +36,13 @@ void ChainRegistry::put_graph(const std::string& name, graph::Graph g) {
     slot.entry.reset();
   }
   slot.graph = std::move(shared);
+  // Invalidate any in-flight build of the OLD graph: bumping the generation
+  // makes its builder discard the result instead of installing it, and
+  // clearing `building` lets the next acquire start a fresh build from the
+  // new graph. Waiters already parked on the old future still get the old
+  // chain -- they raced put_graph, either order is a valid outcome.
+  ++slot.generation;
+  slot.building = {};
   slot.stats.name = name;
   slot.stats.resident = false;
   slot.stats.memory_bytes = 0;
@@ -49,6 +56,7 @@ bool ChainRegistry::has_graph(const std::string& name) const {
 
 ChainHandle ChainRegistry::acquire(const std::string& name) {
   std::shared_ptr<const graph::Graph> graph;
+  std::uint64_t generation = 0;
   std::promise<ChainHandle> promise;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -71,6 +79,7 @@ ChainHandle ChainRegistry::acquire(const std::string& name) {
     }
     slot.building = promise.get_future().share();
     graph = slot.graph;
+    generation = slot.generation;
   }
 
   // Build outside the lock: hits and builds on OTHER graphs proceed.
@@ -86,21 +95,28 @@ ChainHandle ChainRegistry::acquire(const std::string& name) {
 
     std::lock_guard<std::mutex> lock(mu_);
     Slot& slot = slots_.at(name);
-    slot.entry = entry;
-    slot.last_use = ++clock_;
-    ++slot.stats.builds;
-    slot.stats.build_micros += micros;
-    slot.stats.resident = true;
-    slot.stats.memory_bytes = entry->memory_bytes;
-    resident_bytes_ += entry->memory_bytes;
-    slot.building = {};
-    evict_to_budget_locked();
+    if (slot.generation == generation) {
+      slot.entry = entry;
+      slot.last_use = ++clock_;
+      ++slot.stats.builds;
+      slot.stats.build_micros += micros;
+      slot.stats.resident = true;
+      slot.stats.memory_bytes = entry->memory_bytes;
+      resident_bytes_ += entry->memory_bytes;
+      slot.building = {};
+      evict_to_budget_locked();
+    }
+    // Generation mismatch: put_graph replaced the graph mid-build. Do NOT
+    // install (the slot would serve a chain for the wrong matrix) and do
+    // not touch `building` -- it is empty or owned by a newer build. The
+    // entry still satisfies this call and its pre-replacement waiters.
     promise.set_value(entry);
     return entry;
   } catch (...) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      slots_.at(name).building = {};
+      Slot& slot = slots_.at(name);
+      if (slot.generation == generation) slot.building = {};
     }
     promise.set_exception(std::current_exception());
     throw;

@@ -78,7 +78,9 @@ class ChainRegistry {
   explicit ChainRegistry(RegistryOptions options = {});
 
   /// Installs (or replaces) the graph behind `name`. Replacing drops any
-  /// resident chain for the old graph; in-flight handles stay valid.
+  /// resident chain for the old graph and invalidates in-flight builds of
+  /// it (their result is discarded, never installed); in-flight handles
+  /// stay valid.
   void put_graph(const std::string& name, graph::Graph g);
 
   bool has_graph(const std::string& name) const;
@@ -101,6 +103,10 @@ class ChainRegistry {
     std::shared_ptr<const graph::Graph> graph;
     ChainHandle entry;                          ///< null when not resident
     std::shared_future<ChainHandle> building;   ///< valid while a build runs
+    /// Bumped by put_graph. A build captures the generation of the graph it
+    /// started from and only installs its chain if the slot still has it --
+    /// a chain built from a replaced graph must never become resident.
+    std::uint64_t generation = 0;
     std::uint64_t last_use = 0;
     ChainStats stats;
   };

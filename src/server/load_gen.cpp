@@ -25,9 +25,9 @@
 // build -- the build cost is reported separately in the server's registry
 // stats (build_micros). --warmup=0 includes the cold build in level 1.
 //
-//   load_gen --socket=/tmp/spar.sock --spec=gen:grid:64x64 \
-//     [--requests=200] [--rates=4,16,64 | --concurrency=16] \
-//     [--seed=1] [--warmup=1] [--quick] [--json=out.json] [--no-verify] \
+//   load_gen --socket=/tmp/spar.sock --spec=gen:grid:64x64
+//     [--requests=200] [--rates=4,16,64 | --concurrency=16]
+//     [--seed=1] [--warmup=1] [--quick] [--json=out.json] [--no-verify]
 //     [--shutdown-server]
 #include <algorithm>
 #include <chrono>
@@ -113,7 +113,12 @@ Reply parse_reply(const Frame& frame) {
                 std::to_string(static_cast<unsigned>(frame.header.type)));
   PayloadReader r(frame.payload);
   Reply out;
-  out.solution.resize(static_cast<std::size_t>(r.u64()));
+  const std::uint64_t n = r.u64();
+  // n doubles must fit in the remaining payload; a corrupt length must not
+  // become an 8n-byte allocation before f64_span would catch it.
+  if (n > r.remaining() / sizeof(double))
+    throw Error("solve reply declares more doubles than the payload carries");
+  out.solution.resize(static_cast<std::size_t>(n));
   r.f64_span(out.solution);
   out.iterations = r.u64();
   r.f64();  // relative_residual (oracle re-derives it)

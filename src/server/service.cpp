@@ -1,6 +1,7 @@
 #include "server/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 
@@ -21,9 +22,23 @@ std::uint64_t micros_between(Clock::time_point a, Clock::time_point b) {
 
 std::string json_escape(const std::string& s) {
   std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {  // remaining control chars: JSON demands \u00XX
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
   }
   return out;
 }

@@ -71,7 +71,9 @@ void Socket::write_exact(const void* data, std::size_t len) const {
   const auto* p = static_cast<const unsigned char*>(data);
   std::size_t sent = 0;
   while (sent < len) {
-    const ssize_t w = ::write(fd_, p + sent, len - sent);
+    // MSG_NOSIGNAL: a peer that vanished mid-reply must surface as EPIPE
+    // (caught and logged per connection), not SIGPIPE killing the process.
+    const ssize_t w = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
     if (w >= 0) {
       sent += static_cast<std::size_t>(w);
       continue;
@@ -79,6 +81,10 @@ void Socket::write_exact(const void* data, std::size_t len) const {
     if (errno == EINTR) continue;
     fail("socket write");
   }
+}
+
+void Socket::shutdown_rw() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 Listener::Listener(const std::string& path, int backlog) : path_(path) {

@@ -42,8 +42,14 @@ class Socket {
   bool read_exact(void* data, std::size_t len) const;
 
   /// Writes exactly `len` bytes, retrying on EINTR and short writes.
-  /// Throws spar::Error on failure (including EPIPE from a closed peer).
+  /// Sends with MSG_NOSIGNAL: a closed peer throws spar::Error (EPIPE)
+  /// instead of raising SIGPIPE against the whole process.
   void write_exact(const void* data, std::size_t len) const;
+
+  /// Half-closes both directions without releasing the fd: a thread blocked
+  /// in read_exact sees EOF and unwinds while the owner still holds the
+  /// Socket. Safe to call from another thread; idempotent.
+  void shutdown_rw() const;
 
   void close();
 

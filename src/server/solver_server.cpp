@@ -5,9 +5,9 @@
 // into blocked solves (service.hpp). One thread per connection reads
 // frames; responses for a connection are written in request order.
 //
-//   solver_server --socket=/tmp/spar.sock \
-//     [--max-batch=16] [--deadline-us=2000] [--no-batching] \
-//     [--chain-memory-budget=BYTES] [--threads=N] \
+//   solver_server --socket=/tmp/spar.sock
+//     [--max-batch=16] [--deadline-us=2000] [--no-batching]
+//     [--chain-memory-budget=BYTES] [--threads=N]
 //     [--tolerance=1e-8] [--graph=name=gen:grid:64x64 ...]
 //
 // --graph preloads name->spec pairs at startup (clients can also register
@@ -18,6 +18,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -85,6 +86,11 @@ class Connection {
     drain_pending();
   }
 
+  /// Unblocks a reader parked in recv_frame (shutdown path): the socket is
+  /// half-closed, read sees EOF, run() unwinds. The fd itself stays owned
+  /// by the Connection until its thread joins.
+  void abort_socket() { sock_.shutdown_rw(); }
+
  private:
   void handle_register(const Frame& frame) {
     PayloadReader r(frame.payload);
@@ -103,7 +109,9 @@ class Connection {
     PayloadReader r(frame.payload);
     const std::string name = r.str();
     const std::uint64_t n = r.u64();
-    if (n > frame.payload.size()) {  // cheap sanity: n doubles must fit
+    // n doubles must fit in the REMAINING payload bytes; comparing the count
+    // against the byte length would let a 1 GiB frame demand an 8 GiB vector.
+    if (n > r.remaining() / sizeof(double)) {
       server::send_error(sock_, frame.request_id(), "rhs length exceeds payload");
       return;
     }
@@ -218,7 +226,8 @@ int run(int argc, char** argv) {
                static_cast<unsigned long long>(service_opt.deadline_us),
                service_opt.batching ? 1 : 0);
 
-  std::vector<std::thread> connections;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<Connection>> connections;
   // The acceptor blocks in accept(); a kShutdown handler sets `stop` and a
   // watcher thread closes the listener to break the accept loop.
   std::thread watcher([&] {
@@ -228,16 +237,19 @@ int run(int argc, char** argv) {
   while (true) {
     Socket client = listener.accept();
     if (!client.valid()) break;  // listener shut down
-    connections.emplace_back(
-        [&service, &stop, sock = std::move(client)]() mutable {
-          Connection conn(std::move(sock), service, stop);
-          conn.run();
-        });
+    auto conn = std::make_shared<Connection>(std::move(client), service, stop);
+    connections.push_back(conn);
+    threads.emplace_back([conn] { conn->run(); });
   }
   stop.store(true);
   watcher.join();
-  for (std::thread& t : connections) t.join();
+  // Drain order matters: finish every in-flight solve first (all replies go
+  // out inside service.shutdown()'s wait), THEN half-close the sockets so
+  // connections idling in recv_frame -- e.g. a second client that never
+  // sent kShutdown -- see EOF and unwind instead of pinning their threads.
   service.shutdown();
+  for (const auto& conn : connections) conn->abort_socket();
+  for (std::thread& t : threads) t.join();
   std::fprintf(stderr, "[solver_server] drained, exiting: %s\n",
                service.stats_json().c_str());
   return 0;

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <set>
 #include <thread>
@@ -171,6 +172,30 @@ TEST(ChainRegistry, ConcurrentColdAcquiresAreSingleFlight) {
     unique.insert(h.get());
   }
   EXPECT_EQ(unique.size(), 1u);
+}
+
+TEST(ChainRegistry, PutGraphDuringBuildNeverInstallsStaleChain) {
+  // Regression: replacing a graph while its chain is mid-build must not let
+  // the builder install the OLD graph's chain as the slot's resident entry
+  // -- solves against the new name would silently use the wrong matrix
+  // until an eviction. The sleep sweep varies where put_graph lands
+  // relative to the build; every interleaving must end with the NEW chain.
+  for (int round = 0; round < 4; ++round) {
+    ChainRegistry reg;
+    reg.put_graph("g", graph::grid2d(40, 40));  // slow enough to race into
+    std::thread builder([&] { reg.acquire("g"); });
+    std::this_thread::sleep_for(std::chrono::microseconds(200 * round));
+    reg.put_graph("g", graph::grid2d(6, 5));  // replace mid-build
+    builder.join();
+    const ChainHandle fresh = reg.acquire("g");
+    ASSERT_NE(fresh, nullptr);
+    EXPECT_EQ(fresh->matrix.dimension(), 30u)
+        << "round " << round << ": resident chain built from the replaced graph";
+    const ChainStats s = stats_for(reg, "g");
+    EXPECT_TRUE(s.resident);
+    EXPECT_EQ(reg.resident_bytes(), s.memory_bytes)
+        << "discarded stale build must not leak into the byte accounting";
+  }
 }
 
 TEST(ChainRegistry, PutGraphReplacesAndDropsStaleChain) {

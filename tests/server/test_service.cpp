@@ -212,6 +212,21 @@ TEST(SolverService, StatsJsonCarriesServiceAndRegistryCounters) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " missing in " << json;
 }
 
+TEST(SolverService, StatsJsonEscapesControlCharactersInGraphNames) {
+  // Regression: a client-supplied graph name with control characters (or
+  // quotes/backslashes) must not produce invalid JSON from kStats.
+  SolverService service(ServiceOptions{});
+  const std::string name = "bad\nname\t\"q\"\\v\r\x01x";
+  service.put_graph(name, graph::grid2d(5, 5));
+  const std::string json = service.stats_json();
+  for (const char c : json)
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control character leaked into " << json;
+  EXPECT_NE(json.find("bad\\nname\\t\\\"q\\\"\\\\v\\r\\u0001x"),
+            std::string::npos)
+      << json;
+}
+
 TEST(SolverService, PoolWidthDoesNotChangeResponseBits) {
   // Batches execute on the service's TaskPool (nested parallel loops
   // dispatch to the same workers); results must be identical across pool
