@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
   const std::vector<std::string> families = {"er", "grid"};
 
   support::Table table({"family", "n", "m", "rounds", "rounds/lg^2 n", "messages",
-                        "words/(m lg n)", "msg words", "max_stretch", "bound"});
+                        "words/(m lg n)", "msg words", "max round words",
+                        "max_stretch", "bound"});
 
   for (const auto& family : families) {
     for (const graph::Vertex n : sizes) {
@@ -50,7 +51,8 @@ int main(int argc, char** argv) {
            std::to_string(result.metrics.messages),
            support::Table::cell(double(result.metrics.words) /
                                 (double(g.num_edges()) * lg)),
-           std::to_string(result.metrics.max_message_words), stretch_cell,
+           std::to_string(result.metrics.max_message_words),
+           std::to_string(result.metrics.max_round_words), stretch_cell,
            std::to_string(2 * k - 1)});
     }
   }

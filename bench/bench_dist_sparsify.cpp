@@ -25,22 +25,25 @@ int main(int argc, char** argv) {
   const auto result = dist::distributed_parallel_sparsify(g, dopt);
 
   support::Table table({"round", "edges in", "edges out", "net rounds",
-                        "messages", "words"});
+                        "messages", "words", "max round words"});
   for (std::size_t i = 0; i < result.rounds.size(); ++i) {
     const auto& r = result.rounds[i];
     table.add_row({std::to_string(i + 1), std::to_string(r.edges_before),
                    std::to_string(r.edges_after),
                    std::to_string(r.metrics.rounds),
                    std::to_string(r.metrics.messages),
-                   std::to_string(r.metrics.words)});
+                   std::to_string(r.metrics.words),
+                   std::to_string(r.metrics.max_round_words)});
   }
   table.print("E5 distributed: per-round protocol cost, complete n=" +
               std::to_string(n) + " rho=" + std::to_string(int(dopt.rho)));
 
-  std::printf("\ntotals: %llu rounds, %llu messages, %llu words; final %zu of %zu edges\n",
+  std::printf("\ntotals: %llu rounds, %llu messages, %llu words "
+              "(busiest phase %llu words); final %zu of %zu edges\n",
               static_cast<unsigned long long>(result.metrics.rounds),
               static_cast<unsigned long long>(result.metrics.messages),
               static_cast<unsigned long long>(result.metrics.words),
+              static_cast<unsigned long long>(result.metrics.max_round_words),
               result.sparsifier.num_edges(), g.num_edges());
   std::printf("Expected shape: messages/words strictly decreasing per round "
               "(geometric size decay); round 1 dominates.\n");

@@ -83,6 +83,12 @@ for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.05; done
 "$build_dir/src/server/load_gen" --quick --socket="$sock" --shutdown-server
 wait "$server_pid"
 
+# Multi-process shard smoke: a 4-shard UNIX-socket mesh of real dist_worker
+# processes runs the spanner and one PARALLELSAMPLE round; bench_dist_shard
+# --selftest exits nonzero unless both outputs hash-equal the one-shard run
+# and the framed wire bytes reconcile exactly with the words shipped.
+"$build_dir/bench/bench_dist_shard" --selftest --worker "$build_dir/src/dist/dist_worker"
+
 # Documentation gates: undocumented public symbols in src/solver and
 # src/resistance, and broken relative links in the top-level markdown.
 scripts/check_docs.sh

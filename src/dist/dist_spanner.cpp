@@ -1,216 +1,103 @@
+// Legacy entry points of the distributed protocols, since PR 8 thin wrappers
+// that run the sharded SPMD core (dist/shard.cpp) on a one-shard loopback
+// mesh. One shard owns every vertex, so no message crosses a shard boundary
+// (wire.words == 0) and the run IS the PR 1 sequential simulator: same
+// decisions, same edge sets, same model-level DistMetrics. dist/runner.hpp
+// scales the identical core to S threads or processes.
 #include "dist/dist_spanner.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
+#include <vector>
 
-#include "sparsify/sample.hpp"
-#include "sparsify/sample_core.hpp"
-#include "spanner/baswana_sen.hpp"
-#include "spanner/bs_core.hpp"
-#include "spanner/bundle.hpp"
+#include "dist/shard.hpp"
+#include "graph/edge_view.hpp"
 #include "support/assert.hpp"
-#include "support/rng.hpp"
 
 namespace spar::dist {
 
 using graph::CSRGraph;
-using graph::EdgeId;
 using graph::Graph;
-using graph::kInvalidVertex;
 using graph::Vertex;
 
 namespace {
 
-// Every simulated message is one tag word plus two payload words (an edge id
-// or a (center, coin) pair) -- the O(log n)-bit budget of Theorem 2.
-constexpr std::uint64_t kWordsPerMessage = 3;
-
-// The decision logic lives in spanner/bs_core.hpp, shared with the
-// shared-memory implementation so both make bit-identical choices.
-namespace bs = spar::spanner::detail;
+// The sharded core wants the edge universe as an EdgeView (that is what a
+// shard's directory replicates); the legacy spanner API hands us the CSR the
+// caller already built. Rebuild the id-indexed SoA from the arcs: every edge
+// appears as exactly two arcs carrying the same global id, so the first
+// visit of an id fixes its endpoints and weight.
+graph::EdgeArena arena_from_csr(const CSRGraph& csr) {
+  const Vertex n = csr.num_vertices();
+  const std::size_t m = csr.num_arcs() / 2;
+  graph::EdgeArena arena;
+  arena.resize(n, m);
+  auto u = arena.mutable_u();
+  auto v = arena.mutable_v();
+  auto w = arena.weights();
+  std::vector<bool> seen(m, false);
+  for (Vertex x = 0; x < n; ++x) {
+    for (const graph::Arc& arc : csr.neighbors(x)) {
+      SPAR_CHECK(arc.id < m, "distributed_spanner: arc id out of range");
+      if (!seen[arc.id]) {
+        seen[arc.id] = true;
+        u[arc.id] = x;
+        v[arc.id] = arc.to;
+        w[arc.id] = arc.w;
+      }
+    }
+  }
+  return arena;
+}
 
 }  // namespace
 
 DistSpannerResult distributed_spanner(const CSRGraph& csr,
                                       const std::vector<bool>* alive,
                                       const DistSpannerOptions& options) {
-  const Vertex n = csr.num_vertices();
-  const std::size_t m = csr.num_arcs() / 2;
-  const std::size_t k =
-      options.k != 0 ? options.k : spanner::auto_spanner_k(n);
-  support::WorkScope work(options.work);
+  const graph::EdgeArena arena = arena_from_csr(csr);
+  LoopbackHub hub(1);
+  ShardSpannerOutput out =
+      run_shard_spanner(hub.endpoint(0), arena.view(), alive, options);
 
   DistSpannerResult result;
-  result.metrics.max_message_words = kWordsPerMessage;
-
-  if (alive != nullptr)
-    SPAR_CHECK(alive->size() == m, "distributed_spanner: alive mask size mismatch");
-  std::vector<bs::EdgeState> state = bs::initial_states(m, alive);
-
-  std::vector<Vertex> center(n), new_center(n, kInvalidVertex);
-  for (Vertex v = 0; v < n; ++v) center[v] = v;
-
-  const double sample_p = bs::sample_probability(n, k);
-  bs::ClusterScratch scratch(n);
-  bs::Decisions decisions;
-  std::vector<std::uint8_t> sampled(n, 0);
-
-  // ---- Phase 1: k-1 clustering iterations (each a protocol super-step) ----
-  for (std::size_t iter = 1; iter < k; ++iter) {
-    // Cluster centers flip their coin locally and disseminate it through the
-    // cluster tree; after iteration i the tree has radius <= i, so the
-    // dissemination plus the neighbour exchange and the selection
-    // announcements cost i + 2 synchronous rounds. Summed over the k-1
-    // iterations this is the Theorem 2 O(log^2 n) round budget.
-    result.metrics.rounds += static_cast<std::uint64_t>(iter) + 2;
-
-    for (Vertex c = 0; c < n; ++c)
-      sampled[c] = bs::cluster_sampled(options.seed, iter, c, sample_p);
-
-    // Every endpoint of an alive edge exchanges (center, coin) with its
-    // neighbour; phase1_decide reports how many such messages each vertex
-    // sends. Each selected spanner edge is announced with one more message.
-    std::uint64_t alive_arcs = 0;
-    for (Vertex v = 0; v < n; ++v) {
-      alive_arcs += bs::phase1_decide(csr, v, center, sampled, state, scratch,
-                                      decisions, new_center, work);
-    }
-    const std::uint64_t added = bs::commit(decisions, state, result.spanner_edges);
-    result.metrics.messages += alive_arcs + added;
-    center.swap(new_center);
-    std::fill(new_center.begin(), new_center.end(), kInvalidVertex);
-  }
-
-  // ---- Phase 2: vertex-cluster joining (one exchange + one announcement) --
-  result.metrics.rounds += 2;
-  std::uint64_t alive_arcs = 0;
-  for (Vertex v = 0; v < n; ++v)
-    alive_arcs += bs::phase2_decide(csr, v, center, state, scratch, decisions, work);
-  const std::uint64_t added = bs::commit(decisions, state, result.spanner_edges);
-  result.metrics.messages += alive_arcs + added;
-  result.metrics.words = result.metrics.messages * kWordsPerMessage;
-
-  std::sort(result.spanner_edges.begin(), result.spanner_edges.end());
+  result.spanner_edges = std::move(out.owned_spanner_edges);
+  result.metrics = out.metrics;
+  result.wire = hub.endpoint(0).wire();
   return result;
 }
 
-namespace {
-
-// One distributed PARALLELSAMPLE round executed in place on the shared round
-// pipeline: the t-bundle is peeled with t runs of the distributed spanner
-// protocol over ctx's reusable CSR scratch, then the verdict/compaction core
-// (sparsify::detail::apply_sample_verdicts -- the exact code the
-// shared-memory round runs) shrinks the arena. peel_bundle and the seed
-// derivations are also the shared-memory code, so the round reproduces the
-// shared-memory sparsifier bit for bit while `metrics` accounts for what the
-// network did.
-sparsify::SampleRoundStats dist_sample_round(sparsify::RoundContext& ctx,
-                                             const DistSampleOptions& options,
-                                             DistMetrics& metrics) {
-  SPAR_CHECK(options.epsilon > 0.0,
-             "distributed_parallel_sample: epsilon must be positive");
-  SPAR_CHECK(options.keep_probability > 0.0 && options.keep_probability <= 1.0,
-             "distributed_parallel_sample: keep_probability must be in (0, 1]");
-
-  sparsify::SampleRoundStats stats;
-  stats.edges_before = ctx.num_edges();
-  stats.t_used = options.t != 0
-                     ? options.t
-                     : sparsify::theory_bundle_width(ctx.num_vertices(),
-                                                     options.epsilon);
-
-  const CSRGraph& csr = ctx.rebuild_csr();
-  const spanner::Bundle bundle = spanner::detail::peel_bundle(
-      ctx.num_edges(), stats.t_used,
-      sparsify::detail::bundle_seed(options.seed),
-      [&](std::uint64_t component_seed, const std::vector<bool>& alive) {
-        DistSpannerOptions sopt;
-        sopt.k = 0;
-        sopt.seed = component_seed;
-        sopt.work = options.work;
-        DistSpannerResult component = distributed_spanner(csr, &alive, sopt);
-        metrics.absorb(component.metrics);
-        return std::move(component.spanner_edges);
-      });
-  stats.bundle_edges = bundle.bundle_edge_count;
-  stats.off_bundle_edges = bundle.off_bundle_edge_count;
-
-  // Off-bundle coins are local: each edge owner evaluates the same pure
-  // function of (seed, edge id) the shared-memory path uses, then announces
-  // only the kept edges (one message each) in a single round.
-  support::WorkScope work(options.work);
-  work.add(stats.edges_before);
-  stats.sampled_edges = sparsify::detail::apply_sample_verdicts(
-      ctx, bundle.in_bundle, options.keep_probability,
-      sparsify::detail::coin_seed(options.seed));
-  stats.edges_after = ctx.num_edges();
-  metrics.rounds += 1;
-  metrics.messages += stats.sampled_edges;
-  metrics.words += stats.sampled_edges * kWordsPerMessage;
-  return stats;
-}
-
-}  // namespace
-
 DistSampleResult distributed_parallel_sample(const Graph& g,
                                              const DistSampleOptions& options) {
+  LoopbackHub hub(1);
+  ShardSampleOutput out = run_shard_sample(hub.endpoint(0), g, options);
+
   DistSampleResult result;
-  result.metrics.max_message_words = kWordsPerMessage;
-  sparsify::RoundContext ctx(g);
-  const sparsify::SampleRoundStats stats =
-      dist_sample_round(ctx, options, result.metrics);
-  result.sparsifier = ctx.arena().to_graph();
-  result.bundle_edges = stats.bundle_edges;
-  result.off_bundle_edges = stats.off_bundle_edges;
-  result.sampled_edges = stats.sampled_edges;
-  result.t_used = stats.t_used;
+  result.bundle_edges = out.bundle_edges;
+  result.off_bundle_edges = out.off_bundle_edges;
+  result.sampled_edges = out.sampled_edges;
+  result.t_used = out.t_used;
+  result.metrics = out.metrics;
+  result.wire = hub.endpoint(0).wire();
+  std::vector<ShardEdges> slices;
+  slices.push_back(std::move(out.owned));
+  result.sparsifier =
+      merge_shard_edges(g.num_vertices(), out.final_edges, slices);
   return result;
 }
 
 DistSparsifyResult distributed_parallel_sparsify(const Graph& g,
                                                  const DistSparsifyOptions& options) {
-  SPAR_CHECK(options.epsilon > 0.0,
-             "distributed_parallel_sparsify: epsilon must be positive");
-  SPAR_CHECK(options.rho >= 1.0, "distributed_parallel_sparsify: rho must be >= 1");
+  LoopbackHub hub(1);
+  ShardSparsifyOutput out = run_shard_sparsify(hub.endpoint(0), g, options);
 
   DistSparsifyResult result;
-  result.metrics.max_message_words = kWordsPerMessage;
-  const auto rounds_planned =
-      static_cast<std::size_t>(std::ceil(std::log2(std::max(options.rho, 1.0))));
-  if (rounds_planned == 0) {
-    result.sparsifier = g;
-    return result;
-  }
-  const double per_round_epsilon =
-      options.epsilon / static_cast<double>(rounds_planned);
-
-  // Same zero-copy round loop as sparsify::parallel_sparsify: one
-  // RoundContext threads the arena, CSR scratch and verdict buffer through
-  // every protocol round; a Graph exists only at the boundary.
-  sparsify::RoundContext ctx(g);
-  for (std::size_t round = 0; round < rounds_planned; ++round) {
-    DistSampleOptions sopt;
-    sopt.epsilon = per_round_epsilon;
-    sopt.t = options.t;
-    sopt.keep_probability = options.keep_probability;
-    sopt.seed = support::mix64(options.seed, round + 1);
-    sopt.work = options.work;
-
-    DistRound stats;
-    stats.metrics.max_message_words = kWordsPerMessage;
-    const sparsify::SampleRoundStats sample =
-        dist_sample_round(ctx, sopt, stats.metrics);
-    stats.edges_before = sample.edges_before;
-    stats.edges_after = sample.edges_after;
-    result.rounds.push_back(stats);
-    result.metrics.absorb(stats.metrics);
-
-    const bool saturated = sample.sampled_edges == 0 &&
-                           sample.bundle_edges == sample.edges_before;
-    if (options.stop_when_saturated && saturated)
-      break;  // bundle swallowed the graph; rest are identities
-  }
-  result.sparsifier = ctx.arena().to_graph();
+  result.rounds = std::move(out.rounds);
+  result.metrics = out.metrics;
+  result.wire = hub.endpoint(0).wire();
+  std::vector<ShardEdges> slices;
+  slices.push_back(std::move(out.owned));
+  result.sparsifier =
+      merge_shard_edges(g.num_vertices(), out.final_edges, slices);
   return result;
 }
 

@@ -21,26 +21,41 @@
 //    O(log n) bits, which bench_dist_spanner instantiates next to the
 //    measured counts.
 //
-// The simulation is sequential on purpose: its outputs (edge sets AND
-// metrics) are bit-identical regardless of the shared-memory thread count,
-// which tests/integration/test_determinism.cpp pins down.
+// Since PR 8 the protocols execute on the sharded SPMD core (dist/shard.hpp)
+// behind a Transport (dist/transport.hpp): the entry points below run the
+// core on a one-shard loopback mesh, and dist/runner.hpp scales the SAME
+// code to S shards as threads (LoopbackTransport) or real processes over
+// sockets (SocketTransport). Outputs -- edge sets AND model metrics -- are
+// bit-identical for every shard count, every transport, and every
+// shared-memory thread count (tests/integration/test_determinism.cpp,
+// tests/dist/test_shard.cpp). DistMetrics stays the protocol-node account of
+// the CONGEST model; the transport's WireMetrics separately measures what a
+// run put on actual wires, reconciled byte-for-byte every superstep.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "dist/transport.hpp"
 #include "graph/csr.hpp"
 #include "graph/graph.hpp"
 #include "support/work_counter.hpp"
 
 namespace spar::dist {
 
-/// Totals a protocol run puts on the simulated network.
+/// Totals a protocol run puts on the model network: counted at protocol-node
+/// granularity (one message per alive arc / announcement, 3 words each),
+/// NOT at shard granularity -- so the numbers are invariant under resharding
+/// and match the paper's Theorem 2 budgets. See WireMetrics for what a
+/// concrete mesh actually shipped.
 struct DistMetrics {
   std::uint64_t rounds = 0;    ///< synchronous rounds consumed
   std::uint64_t messages = 0;  ///< point-to-point messages sent
   std::uint64_t words = 0;     ///< machine words on the wire (3 per message)
   std::uint64_t max_message_words = 0;  ///< largest single message, in words
+  /// Congestion: the largest single protocol phase (one clustering
+  /// iteration's exchange+announce, or one coin round), in words.
+  std::uint64_t max_round_words = 0;
 
   void absorb(const DistMetrics& other) {
     rounds += other.rounds;
@@ -48,6 +63,8 @@ struct DistMetrics {
     words += other.words;
     if (other.max_message_words > max_message_words)
       max_message_words = other.max_message_words;
+    if (other.max_round_words > max_round_words)
+      max_round_words = other.max_round_words;
   }
 };
 
@@ -62,6 +79,9 @@ struct DistSpannerOptions {
 struct DistSpannerResult {
   std::vector<graph::EdgeId> spanner_edges;
   DistMetrics metrics;
+  /// Measured transport traffic, summed over shards (all-zero words on a
+  /// one-shard mesh: nothing crosses a shard boundary).
+  WireMetrics wire;
 };
 
 /// Theorem 2: distributed Baswana-Sen over the subgraph given by
@@ -87,6 +107,7 @@ struct DistSampleResult {
   std::size_t sampled_edges = 0;
   std::size_t t_used = 0;
   DistMetrics metrics;
+  WireMetrics wire;  ///< measured transport traffic, summed over shards
 };
 
 /// Distributed PARALLELSAMPLE: the t-bundle is peeled with t runs of the
@@ -121,6 +142,7 @@ struct DistSparsifyResult {
   graph::Graph sparsifier;
   std::vector<DistRound> rounds;
   DistMetrics metrics;
+  WireMetrics wire;  ///< measured transport traffic, summed over shards
 };
 
 /// Theorem 5 (distributed statement): ceil(log2 rho) rounds of distributed

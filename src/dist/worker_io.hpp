@@ -1,0 +1,233 @@
+// Result-file format between dist_worker processes and the launcher
+// (dist/runner.cpp). Internal to src/dist; not installed API.
+//
+// A worker's whole output -- its owned edge slice, per-run stats, model
+// metrics and wire metrics -- is flattened into a word stream (doubles
+// bit-cast), framed as magic + word count + payload + chunked-FNV checksum
+// (support/framing.hpp, seeded with the count). The launcher refuses a
+// truncated or corrupted file instead of merging garbage.
+#pragma once
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dist/shard.hpp"
+#include "support/assert.hpp"
+#include "support/error.hpp"
+#include "support/framing.hpp"
+
+namespace spar::dist::detail {
+
+inline constexpr std::uint64_t kWorkerFileMagic = 0x5350415257524b52ULL;  // "SPARWRKR"
+
+/// Union of every mode's outputs; unused sections stay empty.
+struct WorkerResult {
+  std::vector<graph::EdgeId> spanner_ids;  // spanner mode
+  ShardEdges owned;                        // sample / sparsify modes
+  std::uint64_t final_edges = 0;
+  std::uint64_t bundle_edges = 0;
+  std::uint64_t off_bundle_edges = 0;
+  std::uint64_t sampled_edges = 0;
+  std::uint64_t t_used = 0;
+  std::vector<DistRound> rounds;  // sparsify mode
+  DistMetrics metrics;
+  WireMetrics wire;
+  std::uint64_t work = 0;  // WorkCounter total of this shard's share
+};
+
+class WordWriter {
+ public:
+  void u64(std::uint64_t x) { words_.push_back(x); }
+  void f64(double x) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    words_.push_back(bits);
+  }
+  template <typename T>
+  void u64_span(const std::vector<T>& xs) {
+    u64(xs.size());
+    for (const T& x : xs) u64(static_cast<std::uint64_t>(x));
+  }
+  void f64_span(const std::vector<double>& xs) {
+    u64(xs.size());
+    for (double x : xs) f64(x);
+  }
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+class WordReader {
+ public:
+  explicit WordReader(const std::vector<std::uint64_t>& words)
+      : words_(words) {}
+  std::uint64_t u64() {
+    SPAR_CHECK(at_ < words_.size(), "worker result: truncated word stream");
+    return words_[at_++];
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double x;
+    std::memcpy(&x, &bits, sizeof(x));
+    return x;
+  }
+  template <typename T>
+  std::vector<T> u64_span() {
+    const std::uint64_t count = u64();
+    SPAR_CHECK(count <= words_.size() - at_,
+               "worker result: array length exceeds stream");
+    std::vector<T> xs(static_cast<std::size_t>(count));
+    for (auto& x : xs) x = static_cast<T>(u64());
+    return xs;
+  }
+  std::vector<double> f64_span() {
+    const std::uint64_t count = u64();
+    SPAR_CHECK(count <= words_.size() - at_,
+               "worker result: array length exceeds stream");
+    std::vector<double> xs(static_cast<std::size_t>(count));
+    for (auto& x : xs) x = f64();
+    return xs;
+  }
+  bool done() const { return at_ == words_.size(); }
+
+ private:
+  const std::vector<std::uint64_t>& words_;
+  std::size_t at_ = 0;
+};
+
+inline void encode_metrics(WordWriter& w, const DistMetrics& m) {
+  w.u64(m.rounds);
+  w.u64(m.messages);
+  w.u64(m.words);
+  w.u64(m.max_message_words);
+  w.u64(m.max_round_words);
+}
+
+inline DistMetrics decode_metrics(WordReader& r) {
+  DistMetrics m;
+  m.rounds = r.u64();
+  m.messages = r.u64();
+  m.words = r.u64();
+  m.max_message_words = r.u64();
+  m.max_round_words = r.u64();
+  return m;
+}
+
+inline void encode_wire(WordWriter& w, const WireMetrics& m) {
+  w.u64(m.supersteps);
+  w.u64(m.frames);
+  w.u64(m.messages);
+  w.u64(m.words);
+  w.u64(m.payload_bytes);
+  w.u64(m.wire_bytes);
+  w.u64(m.max_round_words);
+}
+
+inline WireMetrics decode_wire(WordReader& r) {
+  WireMetrics m;
+  m.supersteps = r.u64();
+  m.frames = r.u64();
+  m.messages = r.u64();
+  m.words = r.u64();
+  m.payload_bytes = r.u64();
+  m.wire_bytes = r.u64();
+  m.max_round_words = r.u64();
+  return m;
+}
+
+inline void write_worker_result(const std::string& path,
+                                const WorkerResult& res) {
+  WordWriter w;
+  w.u64_span(res.spanner_ids);
+  w.u64_span(res.owned.ids);
+  w.u64_span(res.owned.u);
+  w.u64_span(res.owned.v);
+  w.f64_span(res.owned.w);
+  w.u64(res.final_edges);
+  w.u64(res.bundle_edges);
+  w.u64(res.off_bundle_edges);
+  w.u64(res.sampled_edges);
+  w.u64(res.t_used);
+  w.u64(res.rounds.size());
+  for (const DistRound& r : res.rounds) {
+    w.u64(r.edges_before);
+    w.u64(r.edges_after);
+    encode_metrics(w, r.metrics);
+  }
+  encode_metrics(w, res.metrics);
+  encode_wire(w, res.wire);
+  w.u64(res.work);
+
+  const std::vector<std::uint64_t>& words = w.words();
+  const std::uint64_t count = words.size();
+  const std::uint64_t checksum = support::framing::checksum_bytes(
+      words.data(), count * sizeof(std::uint64_t), count);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  SPAR_CHECK(out.good(), "dist_worker: cannot write " + path);
+  out.write(reinterpret_cast<const char*>(&kWorkerFileMagic),
+            sizeof(kWorkerFileMagic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(words.data()),
+            static_cast<std::streamsize>(count * sizeof(std::uint64_t)));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  SPAR_CHECK(out.good(), "dist_worker: write failed for " + path);
+}
+
+inline WorkerResult read_worker_result(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SPAR_CHECK(in.good(), "shard launcher: cannot read result " + path);
+  std::uint64_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  SPAR_CHECK(in.good() && magic == kWorkerFileMagic,
+             "shard launcher: bad result header in " + path);
+  SPAR_CHECK(count < (1ULL << 32),
+             "shard launcher: absurd result size in " + path);
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(count));
+  in.read(reinterpret_cast<char*>(words.data()),
+          static_cast<std::streamsize>(count * sizeof(std::uint64_t)));
+  std::uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  SPAR_CHECK(in.good(), "shard launcher: truncated result " + path);
+  const std::uint64_t expect = support::framing::checksum_bytes(
+      words.data(), count * sizeof(std::uint64_t), count);
+  SPAR_CHECK(checksum == expect,
+             "shard launcher: result checksum mismatch in " + path);
+
+  WordReader r(words);
+  WorkerResult res;
+  res.spanner_ids = r.u64_span<graph::EdgeId>();
+  res.owned.ids = r.u64_span<graph::EdgeId>();
+  res.owned.u = r.u64_span<graph::Vertex>();
+  res.owned.v = r.u64_span<graph::Vertex>();
+  res.owned.w = r.f64_span();
+  res.final_edges = r.u64();
+  res.bundle_edges = r.u64();
+  res.off_bundle_edges = r.u64();
+  res.sampled_edges = r.u64();
+  res.t_used = r.u64();
+  const std::uint64_t num_rounds = r.u64();
+  SPAR_CHECK(num_rounds < (1ULL << 20), "shard launcher: absurd round count");
+  res.rounds.resize(static_cast<std::size_t>(num_rounds));
+  for (DistRound& round : res.rounds) {
+    round.edges_before = static_cast<std::size_t>(r.u64());
+    round.edges_after = static_cast<std::size_t>(r.u64());
+    round.metrics = decode_metrics(r);
+  }
+  res.metrics = decode_metrics(r);
+  res.wire = decode_wire(r);
+  res.work = r.u64();
+  SPAR_CHECK(r.done(), "shard launcher: trailing bytes in " + path);
+  SPAR_CHECK(res.owned.ids.size() == res.owned.u.size() &&
+                 res.owned.ids.size() == res.owned.v.size() &&
+                 res.owned.ids.size() == res.owned.w.size(),
+             "shard launcher: ragged owned slice in " + path);
+  return res;
+}
+
+}  // namespace spar::dist::detail

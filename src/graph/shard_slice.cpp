@@ -1,0 +1,82 @@
+#include "graph/shard_slice.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace spar::graph {
+
+void ShardAdjacency::rebuild(const EdgeView& edges, const VertexPartition& part,
+                             std::size_t shard) {
+  SPAR_CHECK(part.n == edges.num_vertices,
+             "ShardAdjacency: partition is over a different vertex set");
+  first_ = part.begin(shard);
+  const Vertex last = part.end(shard);
+  const std::size_t owned = last - first_;
+
+  offsets_.assign(owned + 1, 0);
+  cursor_.assign(owned, 0);
+
+  // Counting sort over owned endpoints only; each edge contributes an arc
+  // per owned endpoint (0, 1 or 2 of them).
+  for (std::size_t e = 0; e < edges.size; ++e) {
+    const Vertex u = edges.u[e];
+    const Vertex v = edges.v[e];
+    if (u >= first_ && u < last) ++offsets_[u - first_ + 1];
+    if (v >= first_ && v < last) ++offsets_[v - first_ + 1];
+  }
+  for (std::size_t i = 1; i <= owned; ++i) offsets_[i] += offsets_[i - 1];
+  arcs_.resize(offsets_[owned]);
+
+  for (std::size_t e = 0; e < edges.size; ++e) {
+    const Vertex u = edges.u[e];
+    const Vertex v = edges.v[e];
+    const double w = edges.w[e];
+    if (u >= first_ && u < last) {
+      const std::size_t l = u - first_;
+      arcs_[offsets_[l] + cursor_[l]++] = {v, w, static_cast<EdgeId>(e)};
+    }
+    if (v >= first_ && v < last) {
+      const std::size_t l = v - first_;
+      arcs_[offsets_[l] + cursor_[l]++] = {u, w, static_cast<EdgeId>(e)};
+    }
+  }
+
+  // Canonical (target, edge id) row order, matching CSRGraph: the sharded
+  // protocol must see vertices' neighbourhoods exactly as the shared-memory
+  // code does, whatever the shard count.
+  for (std::size_t l = 0; l < owned; ++l) {
+    std::sort(arcs_.begin() + static_cast<std::ptrdiff_t>(offsets_[l]),
+              arcs_.begin() + static_cast<std::ptrdiff_t>(offsets_[l + 1]),
+              [](const Arc& a, const Arc& b) {
+                if (a.to != b.to) return a.to < b.to;
+                return a.id < b.id;
+              });
+  }
+}
+
+ShardSlice make_shard_slice(const EdgeView& edges, const VertexPartition& part,
+                            std::size_t shard) {
+  ShardSlice slice;
+  std::size_t count = 0;
+  for (std::size_t e = 0; e < edges.size; ++e)
+    if (part.owner(edges.u[e]) == shard) ++count;
+
+  slice.arena.resize(edges.num_vertices, count);
+  slice.global_ids.reserve(count);
+  auto u = slice.arena.mutable_u();
+  auto v = slice.arena.mutable_v();
+  auto w = slice.arena.weights();
+  std::size_t at = 0;
+  for (std::size_t e = 0; e < edges.size; ++e) {
+    if (part.owner(edges.u[e]) != shard) continue;
+    u[at] = edges.u[e];
+    v[at] = edges.v[e];
+    w[at] = edges.w[e];
+    slice.global_ids.push_back(static_cast<EdgeId>(e));
+    ++at;
+  }
+  return slice;
+}
+
+}  // namespace spar::graph

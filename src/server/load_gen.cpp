@@ -45,7 +45,6 @@
 #include "graph/io.hpp"
 #include "linalg/vector_ops.hpp"
 #include "server/protocol.hpp"
-#include "server/socket.hpp"
 #include "solver/solver.hpp"
 #include "support/error.hpp"
 #include "support/options.hpp"
@@ -273,7 +272,12 @@ int run(int argc, char** argv) {
   const std::size_t n = m.dimension();
   const bool mean_free = m.is_singular();
 
-  Socket sock = server::connect_unix(socket_path);
+  // --tcp-port connects over loopback TCP (matching solver_server
+  // --tcp-port); the default stays the UNIX socket path.
+  Socket sock = opt.has("tcp-port")
+                    ? server::connect_tcp(static_cast<std::uint16_t>(
+                          opt.get_int("tcp-port", 0)))
+                    : server::connect_unix(socket_path);
 
   // Register the graph (idempotent: replaces any previous binding of name).
   {

@@ -37,7 +37,7 @@
 // Responses on one connection are serialized by the server; a client may
 // pipeline many kSolve requests and read replies in request order.
 // Everything here is bounds-checked decode / append-only encode over byte
-// vectors; the socket layer (socket.hpp) moves the bytes.
+// vectors; the shared socket layer (support/net.hpp) moves the bytes.
 #pragma once
 
 #include <cstdint>
@@ -45,9 +45,17 @@
 #include <string>
 #include <vector>
 
-#include "server/socket.hpp"
+#include "support/net.hpp"
 
 namespace spar::server {
+
+// The service rides the shared hardened socket substrate (support/net.hpp),
+// the same layer the sharded distributed runtime uses. Aliased here so the
+// server code keeps its established vocabulary.
+using support::net::Listener;
+using support::net::Socket;
+using support::net::connect_tcp;
+using support::net::connect_unix;
 
 inline constexpr std::uint32_t kProtocolVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 40;

@@ -9,10 +9,15 @@
 //     [--max-batch=16] [--deadline-us=2000] [--no-batching]
 //     [--chain-memory-budget=BYTES] [--threads=N]
 //     [--tolerance=1e-8] [--graph=name=gen:grid:64x64 ...]
+//     [--tcp-port=P [--port-file=PATH]]
 //
 // --graph preloads name->spec pairs at startup (clients can also register
 // graphs over the wire with kRegisterGraph). A kShutdown frame from any
 // client drains the service and exits cleanly.
+//
+// --tcp-port=P listens on TCP 127.0.0.1:P instead of the UNIX socket
+// (loopback only; see support/net.hpp). P=0 asks the kernel for a free
+// port; --port-file records the bound port so clients can find it.
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -28,7 +33,6 @@
 #include "graph/io.hpp"
 #include "server/protocol.hpp"
 #include "server/service.hpp"
-#include "server/socket.hpp"
 #include "support/error.hpp"
 #include "support/options.hpp"
 
@@ -219,12 +223,33 @@ int run(int argc, char** argv) {
     }
   }
 
-  server::Listener listener(socket_path);
+  // Transport: UNIX socket by default, loopback TCP with --tcp-port (the
+  // shared support/net listener both the service and src/dist use).
+  const bool use_tcp = opt.has("tcp-port");
+  server::Listener listener =
+      use_tcp ? server::Listener::tcp(
+                    static_cast<std::uint16_t>(opt.get_int("tcp-port", 0)))
+              : server::Listener::unix_domain(socket_path);
+  if (use_tcp && opt.has("port-file")) {
+    // Written after listen() so a polling client never reads a dead port.
+    const std::string port_file = opt.get("port-file", "");
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) throw Error("cannot write --port-file " + port_file);
+    std::fprintf(f, "%u\n", static_cast<unsigned>(listener.port()));
+    std::fclose(f);
+  }
   std::atomic<bool> stop{false};
-  std::fprintf(stderr, "[solver_server] listening on %s (max-batch=%zu deadline-us=%llu batching=%d)\n",
-               socket_path.c_str(), service_opt.max_batch,
-               static_cast<unsigned long long>(service_opt.deadline_us),
-               service_opt.batching ? 1 : 0);
+  if (use_tcp) {
+    std::fprintf(stderr, "[solver_server] listening on 127.0.0.1:%u (max-batch=%zu deadline-us=%llu batching=%d)\n",
+                 static_cast<unsigned>(listener.port()), service_opt.max_batch,
+                 static_cast<unsigned long long>(service_opt.deadline_us),
+                 service_opt.batching ? 1 : 0);
+  } else {
+    std::fprintf(stderr, "[solver_server] listening on %s (max-batch=%zu deadline-us=%llu batching=%d)\n",
+                 socket_path.c_str(), service_opt.max_batch,
+                 static_cast<unsigned long long>(service_opt.deadline_us),
+                 service_opt.batching ? 1 : 0);
+  }
 
   std::vector<std::thread> threads;
   std::vector<std::shared_ptr<Connection>> connections;

@@ -98,7 +98,14 @@ inline double sample_probability(graph::Vertex n, std::size_t k) {
 /// state). Appends add/discard decisions to `out`, writes new_center[v], and
 /// returns the number of alive arcs scanned (== messages v sends in the
 /// distributed protocol's exchange step).
-inline std::uint64_t phase1_decide(const graph::CSRGraph& csr, graph::Vertex v,
+///
+/// `Adjacency` is anything with CSRGraph's neighbors(v) -> span<const Arc>
+/// shape whose arc ids are GLOBAL edge ids in canonical (target, edge id)
+/// row order: the full CSRGraph in the shared-memory path, a
+/// graph::ShardAdjacency (owned vertices only) in the sharded runtime. Same
+/// rows in => same decisions out, which is the whole bit-identity argument.
+template <typename Adjacency>
+inline std::uint64_t phase1_decide(const Adjacency& csr, graph::Vertex v,
                                    const std::vector<graph::Vertex>& center,
                                    const std::vector<std::uint8_t>& sampled,
                                    const std::vector<EdgeState>& state,
@@ -174,8 +181,9 @@ inline std::uint64_t phase1_decide(const graph::CSRGraph& csr, graph::Vertex v,
 }
 
 /// One vertex's phase-2 (vertex-cluster joining) decision. Same conventions
-/// as phase1_decide.
-inline std::uint64_t phase2_decide(const graph::CSRGraph& csr, graph::Vertex v,
+/// (and the same Adjacency contract) as phase1_decide.
+template <typename Adjacency>
+inline std::uint64_t phase2_decide(const Adjacency& csr, graph::Vertex v,
                                    const std::vector<graph::Vertex>& center,
                                    const std::vector<EdgeState>& state,
                                    ClusterScratch& scratch, Decisions& out,
@@ -209,24 +217,41 @@ inline std::uint64_t phase2_decide(const graph::CSRGraph& csr, graph::Vertex v,
   return alive_arcs;
 }
 
-/// Commit one super-step: discards first, then spanner marks in sorted
-/// edge-id order. An edge both discarded (by one endpoint) and selected (by
-/// the other) must stay -- keeping extra edges never hurts stretch, and
-/// Baswana-Sen's analysis adds it. Returns how many edges were newly marked.
-inline std::uint64_t commit(Decisions& d, std::vector<EdgeState>& state,
-                            std::vector<graph::EdgeId>& spanner_edges) {
+/// Commit one super-step with an ownership filter: discards first, then
+/// spanner marks in sorted edge-id order. An edge both discarded (by one
+/// endpoint) and selected (by the other) must stay -- keeping extra edges
+/// never hurts stretch, and Baswana-Sen's analysis adds it. State flips for
+/// EVERY decided edge, but only edges with owns(id) true are recorded and
+/// counted -- in the sharded runtime both endpoint shards replay a border
+/// edge's commit to keep their state arrays in lock-step, while exactly one
+/// (the edge owner) reports it. Returns how many owned edges were newly
+/// marked.
+template <typename Owns>
+inline std::uint64_t commit_owned(Decisions& d, std::vector<EdgeState>& state,
+                                  std::vector<graph::EdgeId>& spanner_edges,
+                                  Owns&& owns) {
   for (graph::EdgeId id : d.discard) state[id] = EdgeState::kDead;
   std::sort(d.add.begin(), d.add.end());  // deterministic output order
   std::uint64_t added = 0;
   for (graph::EdgeId id : d.add) {
     if (state[id] != EdgeState::kSpanner) {
       state[id] = EdgeState::kSpanner;
-      spanner_edges.push_back(id);
-      ++added;
+      if (owns(id)) {
+        spanner_edges.push_back(id);
+        ++added;
+      }
     }
   }
   d.clear();
   return added;
+}
+
+/// Single-owner commit: every decided edge is local (the shared-memory path
+/// and the one-shard mesh).
+inline std::uint64_t commit(Decisions& d, std::vector<EdgeState>& state,
+                            std::vector<graph::EdgeId>& spanner_edges) {
+  return commit_owned(d, state, spanner_edges,
+                      [](graph::EdgeId) { return true; });
 }
 
 /// Multi-worker commit: merges every worker's decisions (worker order is
