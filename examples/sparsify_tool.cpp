@@ -4,6 +4,8 @@
 //                 [--t=3] [--keep=0.25] [--seed=1] [--json=report.json]
 //                 [--out=sparse.spb] [--solve-rhs=K]
 //   sparsify_tool <inputs...> --stream [--batch-edges=N] [--json=report.json]
+//   sparsify_tool --updates=u.spd [--batch-updates=N] [--json=report.json]
+//   sparsify_tool <input> --make-updates=u.spd [--delete-fraction=f]
 //   sparsify_tool --in=g.txt --convert=g.spb
 //
 // --solve-rhs=K solves the sparsifier's Laplacian against K random mean-free
@@ -20,6 +22,15 @@
 // peak-resident/merge accounting next to the quality numbers (the quality
 // report itself still loads the input for comparison -- bench_stream is the
 // bounded-memory demonstration).
+//
+// --updates runs the fully dynamic driver (sparsify/dynamic.hpp) over a
+// mixed insert/delete update file (SPARDYN binary or dynamic edge-list text,
+// auto-detected): the DynamicSparsifier ingests the whole stream through its
+// guttering buffer, serves one final checkpoint, and the quality report
+// compares it against the exact surviving graph. --make-updates converts one
+// input graph into such an update file (synthesize_updates: every edge
+// inserted once in seeded shuffled order, a --delete-fraction subset deleted
+// at random later points), the shared workload of bench_dynamic (E17).
 //
 // Inputs (one or more, positional or --in=a,b): file paths, or synthetic
 // specs `gen:<family>:<params>[:seed]`, e.g. gen:grid:64x48, gen:wgrid:32x32:7
@@ -47,8 +58,10 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/subgraph.hpp"
+#include "graph/update_stream.hpp"
 #include "solver/solver.hpp"
 #include "sparsify/baselines.hpp"
+#include "sparsify/dynamic.hpp"
 #include "sparsify/incremental.hpp"
 #include "sparsify/quality.hpp"
 #include "sparsify/sparsify.hpp"
@@ -120,6 +133,11 @@ struct RunRecord {
   sparsify::QualityReport report;
   bool stream = false;
   sparsify::StreamReport stream_report;
+  // --updates: fully dynamic run (dyn_* fields).
+  bool dynamic = false;
+  std::size_t updates = 0;
+  double certified_epsilon = 0.0;
+  sparsify::DynStats dyn;
   // --solve-rhs=K: batched Laplacian solve on the sparsifier (solver fields).
   std::size_t solve_rhs = 0;
   std::size_t solve_iters_max = 0;
@@ -163,6 +181,22 @@ void write_json(const std::string& path, const std::vector<RunRecord>& runs) {
           << ", \"stream_sparsify_calls\": " << s.sparsify_calls
           << ", \"stream_merge_edges\": " << s.metrics.merge_edges
           << ", \"stream_words_ingested\": " << s.metrics.words_ingested;
+    }
+    if (r.dynamic) {
+      const auto& d = r.dyn;
+      out << ", \"dynamic\": true, \"updates\": " << r.updates
+          << ", \"dyn_certified_eps\": " << r.certified_epsilon
+          << ", \"dyn_inserts\": " << d.inserts_applied
+          << ", \"dyn_deletes\": " << d.deletes_applied
+          << ", \"dyn_cancelled\": " << d.cancelled_pairs
+          << ", \"dyn_batches\": " << d.batches
+          << ", \"dyn_levels_dirtied\": " << d.levels_dirtied
+          << ", \"dyn_carry_reduces\": " << d.carry_reduces
+          << ", \"dyn_re_reduces\": " << d.re_reduces
+          << ", \"dyn_rebuilds\": " << d.rebuilds
+          << ", \"dyn_live_edges\": " << d.live_edges
+          << ", \"dyn_peak_resident_edges\": " << d.peak_resident_edges
+          << ", \"dyn_levels_used\": " << d.levels_used;
     }
     if (r.solve_rhs > 0) {
       out << ", \"solve_rhs\": " << r.solve_rhs
@@ -227,7 +261,8 @@ int run(int argc, char** argv) {
     for (const std::string& s : split(opt.get("in", ""), ','))
       if (!s.empty()) inputs.push_back(s);
   if (opt.has("gen")) inputs.push_back("gen:" + opt.get("gen", ""));
-  if (inputs.empty()) {
+  const std::string updates_path = opt.get("updates", "");
+  if (inputs.empty() && updates_path.empty()) {
     std::fprintf(
         stderr,
         "usage: sparsify_tool <inputs...> [--method=koutis,ss] [--eps=0.5,1.0]\n"
@@ -235,10 +270,13 @@ int run(int argc, char** argv) {
         "                     [--json=report.json] [--out=sparse.spb]\n"
         "                     [--solve-rhs=K]\n"
         "       sparsify_tool <inputs...> --stream [--batch-edges=131072]\n"
+        "       sparsify_tool --updates=u.spd [--batch-updates=65536]\n"
+        "       sparsify_tool <input> --make-updates=u.spd [--delete-fraction=0.2]\n"
         "       sparsify_tool --in=g.txt --convert=g.spb\n"
         "inputs: paths (.mtx/.mm, .spb/.bin, else edge list; content magic wins)\n"
         "        or gen:<family>:<params>[:seed] (grid:RxC, wgrid:RxC, er:N,\n"
-        "        wer:N, complete:N, pa:N, ws:N)\n");
+        "        wer:N, complete:N, pa:N, ws:N)\n"
+        "updates: SPARDYN binary or dynamic edge-list text (content magic wins)\n");
     return 2;
   }
 
@@ -261,6 +299,14 @@ int run(int argc, char** argv) {
   const std::string json_path = opt.get("json", "");
   const std::string out_path = opt.get("out", "");
   const std::string convert_path = opt.get("convert", "");
+  const std::string make_updates_path = opt.get("make-updates", "");
+  const double delete_fraction = opt.get_double("delete-fraction", 0.2);
+  const std::int64_t batch_updates_raw =
+      opt.get_int("batch-updates", std::int64_t{1} << 16);
+  if (batch_updates_raw <= 0) throw Error("--batch-updates must be positive");
+  const auto batch_updates = static_cast<std::size_t>(batch_updates_raw);
+  if (!updates_path.empty() && (!inputs.empty() || stream_mode))
+    throw Error("--updates replaces graph inputs (and excludes --stream)");
   for (const std::string& method : methods)
     if (!known_method(method))
       throw Error("unknown method: " + method +
@@ -286,6 +332,97 @@ int run(int argc, char** argv) {
                 graph::format_name(graph::format_from_extension(convert_path)),
                 g.num_vertices(), g.num_edges());
     return 0;
+  }
+
+  if (!make_updates_path.empty()) {
+    if (inputs.size() != 1)
+      throw Error("--make-updates takes exactly one input, got " +
+                  std::to_string(inputs.size()));
+    const graph::Graph g = load_input(inputs[0]);
+    const graph::UpdateBatch u = graph::synthesize_updates(g, delete_fraction, seed);
+    graph::save_updates(make_updates_path, u);
+    std::printf(
+        "synthesized %s -> %s: n=%u, %zu updates (delete fraction %g, seed "
+        "%llu)\n",
+        inputs[0].c_str(), make_updates_path.c_str(), u.num_vertices, u.size(),
+        delete_fraction, static_cast<unsigned long long>(seed));
+    return 0;
+  }
+
+  if (!updates_path.empty()) {
+    std::vector<RunRecord> records;
+    bool all_connected = true;
+    for (double eps : eps_list)
+      for (double rho : rho_list) {
+        // Each cell replays the file through a fresh stream: the dynamic
+        // driver owns batching via its gutter, so the read granularity here
+        // is just I/O chunking.
+        const auto stream = graph::open_update_stream(updates_path);
+        std::printf("%s: n=%u, %zu updates\n", updates_path.c_str(),
+                    stream->num_vertices(), stream->num_updates());
+        sparsify::DynamicOptions dopt;
+        dopt.epsilon = eps;
+        dopt.rho = rho;
+        dopt.t = t;
+        dopt.keep_probability = keep;
+        dopt.seed = seed;
+        dopt.batch_updates = batch_updates;
+        support::Timer timer;
+        sparsify::DynamicSparsifier dyn(stream->num_vertices(), dopt);
+        graph::UpdateBatch batch;
+        while (stream->next_batch(batch, batch_updates) > 0) dyn.apply(batch);
+        sparsify::DynCheckpoint cp = dyn.checkpoint();
+        const double ms = timer.millis();
+        const graph::Graph live = dyn.live_graph();
+
+        RunRecord rec;
+        rec.input = updates_path;
+        rec.method = "koutis-dynamic";
+        rec.n = live.num_vertices();
+        rec.m = live.num_edges();
+        rec.eps = eps;
+        rec.rho = rho;
+        rec.t = t;
+        rec.seed = seed;
+        rec.ms = ms;
+        rec.report = sparsify::quality_report(live, cp.sparsifier);
+        rec.dynamic = true;
+        rec.updates = stream->num_updates();
+        rec.certified_epsilon = cp.certified_epsilon;
+        rec.dyn = dyn.stats();
+        const auto& q = rec.report;
+        const auto& d = rec.dyn;
+        std::printf(
+            "  dynamic eps=%g rho=%g: live %zu -> %zu edges (%.2fx) in %.1f "
+            "ms, certified eps %.4f; quad [%.4f, %.4f] cut [%.4f, %.4f] %s\n",
+            eps, rho, q.edges_original, q.edges_sparsifier, q.edge_reduction(),
+            ms, rec.certified_epsilon, q.min_quadratic_ratio,
+            q.max_quadratic_ratio, q.min_cut_ratio, q.max_cut_ratio,
+            q.sparsifier_connected ? "connected" : "DISCONNECTED");
+        std::printf(
+            "    dyn: %zu batches, %llu ins / %llu del / %llu cancelled, "
+            "%.0f updates/s, levels %zu (%zu dirtied), %zu carries / %zu "
+            "re-reduces / %zu rebuilds, peak resident %zu\n",
+            d.batches, static_cast<unsigned long long>(d.inserts_applied),
+            static_cast<unsigned long long>(d.deletes_applied),
+            static_cast<unsigned long long>(d.cancelled_pairs),
+            ms > 0.0 ? 1e3 * static_cast<double>(d.metrics.updates_ingested) / ms
+                     : 0.0,
+            d.levels_used, d.levels_dirtied, d.carry_reduces, d.re_reduces,
+            d.rebuilds, d.peak_resident_edges);
+        all_connected = all_connected && q.sparsifier_connected;
+        records.push_back(std::move(rec));
+        if (!out_path.empty()) {
+          graph::save_graph(out_path, cp.sparsifier);
+          std::printf("  wrote %s (%s)\n", out_path.c_str(),
+                      graph::format_name(graph::format_from_extension(out_path)));
+        }
+      }
+    if (!json_path.empty()) {
+      write_json(json_path, records);
+      std::printf("wrote %s (%zu runs)\n", json_path.c_str(), records.size());
+    }
+    return all_connected ? 0 : 3;
   }
 
   const std::size_t cells =

@@ -65,6 +65,15 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # streamed build fails to undercut the dense peak resident product.
 "$build_dir/bench/bench_chain" --quick=1
 
+# Dynamic smoke: bench_dynamic exits nonzero if the incremental tower's live
+# graph disagrees with the replayed survivor multiset, a checkpoint's
+# certified eps exceeds the budget, a small-config checkpoint certifies
+# outside the requested eps, or thread counts 1 and 4 disagree. (The oracle-
+# differential sweep and the dynamic golden hash already ran above under
+# ctest.) The tool-level --make-updates -> --updates round trip ran as the
+# ctest `sparsify_tool_dynamic_updates_smoke`.
+"$build_dir/bench/bench_dynamic" --quick=1
+
 # Batched-solve smoke: bench_multi_rhs exits nonzero if the batched
 # solve_sdd_multi solutions are not bit-identical to the per-RHS solve_sdd
 # loop, or any solve misses tolerance, or the effective-resistance sketch

@@ -1,0 +1,496 @@
+#include "graph/update_stream.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+#include <string_view>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/framing.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace spar::graph {
+
+namespace framing = support::framing;
+
+namespace {
+
+struct UpdateHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t flags;
+  std::uint64_t n;
+  std::uint64_t c;
+  std::uint64_t checksum;
+};
+static_assert(sizeof(UpdateHeader) == 40,
+              "SPARDYN header layout is part of the format");
+
+constexpr std::size_t kBytesPerUpdate =
+    2 * sizeof(Vertex) + sizeof(double) + sizeof(std::uint8_t);
+
+// Largest c the reader will attempt to allocate (17 bytes/update); anything
+// bigger is a corrupt or hostile header, not an update stream.
+constexpr std::uint64_t kMaxUpdates = std::uint64_t{1} << 40;
+
+std::uint64_t payload_checksum(const UpdateBatch& b) {
+  std::uint64_t h = support::mix64(b.num_vertices, b.size());
+  h = framing::checksum_bytes(b.u.data(), b.size() * sizeof(Vertex), h);
+  h = framing::checksum_bytes(b.v.data(), b.size() * sizeof(Vertex), h);
+  h = framing::checksum_bytes(b.w.data(), b.size() * sizeof(double), h);
+  h = framing::checksum_bytes(b.op.data(), b.size() * sizeof(std::uint8_t), h);
+  return h;
+}
+
+void write_raw(std::ostream& out, const void* data, std::size_t len) {
+  if (len == 0) return;
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(len));
+  SPAR_CHECK(out.good(), "write_updates: stream write failed");
+}
+
+void read_raw(std::istream& in, void* data, std::size_t len, const char* what) {
+  if (len == 0) return;
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+  SPAR_CHECK(in.gcount() == static_cast<std::streamsize>(len) && !in.bad(),
+             std::string("read_updates: truncated ") + what);
+}
+
+/// Read + fully validate a SPARDYN header; shared by every binary reader so
+/// hostile headers fail identically on all paths.
+UpdateHeader read_checked_header(std::istream& in) {
+  UpdateHeader h = {};
+  read_raw(in, &h, sizeof(h), "header");
+  SPAR_CHECK(std::memcmp(h.magic, kUpdateMagic, sizeof(h.magic)) == 0,
+             "read_updates: bad magic (not a SPARDYN file)");
+  SPAR_CHECK(h.version == kUpdateVersion,
+             "read_updates: unsupported version " + std::to_string(h.version) +
+                 " (reader supports " + std::to_string(kUpdateVersion) + ")");
+  SPAR_CHECK(h.flags == 0, "read_updates: nonzero reserved flags");
+  SPAR_CHECK(h.n <= std::numeric_limits<Vertex>::max(),
+             "read_updates: vertex count exceeds 32-bit vertex ids");
+  SPAR_CHECK(h.c <= kMaxUpdates,
+             "read_updates: implausible update count (corrupt header)");
+  return h;
+}
+
+/// Before allocating 17 bytes per claimed update, bind the claim to the
+/// stream length where seekable: a corrupt header must fail with a message,
+/// not an allocation the size of the address space.
+void check_payload_length(std::istream& in, std::istream::pos_type pos,
+                          std::uint64_t payload_bytes) {
+  if (pos == std::istream::pos_type(-1)) return;
+  in.seekg(0, std::ios::end);
+  const auto stream_end = in.tellg();
+  in.seekg(pos);
+  if (stream_end != std::istream::pos_type(-1))
+    SPAR_CHECK(static_cast<std::uint64_t>(stream_end - pos) == payload_bytes,
+               "read_updates: stream length does not match the header's update count");
+}
+
+}  // namespace
+
+void UpdateBatch::append(const UpdateBatch& other, std::size_t first,
+                         std::size_t last) {
+  SPAR_ASSERT(first <= last && last <= other.size());
+  if (size() == 0 && num_vertices == 0) num_vertices = other.num_vertices;
+  SPAR_CHECK(num_vertices == other.num_vertices,
+             "UpdateBatch::append: vertex count mismatch");
+  u.insert(u.end(), other.u.begin() + first, other.u.begin() + last);
+  v.insert(v.end(), other.v.begin() + first, other.v.begin() + last);
+  w.insert(w.end(), other.w.begin() + first, other.w.begin() + last);
+  op.insert(op.end(), other.op.begin() + first, other.op.begin() + last);
+}
+
+void UpdateBatch::validate() const {
+  const auto bad = [&](std::size_t i) {
+    if (u[i] >= num_vertices || v[i] >= num_vertices || u[i] == v[i]) return true;
+    if (op[i] == static_cast<std::uint8_t>(UpdateOp::kInsert))
+      return !(w[i] > 0.0) || !std::isfinite(w[i]);
+    if (op[i] == static_cast<std::uint8_t>(UpdateOp::kDelete)) return w[i] != 0.0;
+    return true;  // unknown opcode
+  };
+  const std::int64_t first_bad = support::par::parallel_reduce(
+      0, static_cast<std::int64_t>(size()), std::int64_t{-1},
+      [&](std::int64_t cb, std::int64_t ce) -> std::int64_t {
+        for (std::int64_t i = cb; i < ce; ++i)
+          if (bad(static_cast<std::size_t>(i))) return i;
+        return -1;
+      },
+      [](std::int64_t a, std::int64_t b) { return a >= 0 ? a : b; });
+  if (first_bad < 0) return;
+  const auto i = static_cast<std::size_t>(first_bad);
+  std::string what = "UpdateBatch::validate: update " + std::to_string(i);
+  if (u[i] >= num_vertices || v[i] >= num_vertices)
+    what += ": endpoint out of range (n = " + std::to_string(num_vertices) + ")";
+  else if (u[i] == v[i])
+    what += ": self-loop";
+  else if (op[i] > 1)
+    what += ": unknown opcode " + std::to_string(op[i]);
+  else if (op[i] == static_cast<std::uint8_t>(UpdateOp::kDelete))
+    what += ": delete must carry weight 0";
+  else
+    what += ": insert weight must be positive and finite";
+  throw spar::Error(what);
+}
+
+// ---------------------------------------------------------------------------
+// In-memory stream
+
+std::size_t MemoryUpdateStream::next_batch(UpdateBatch& out,
+                                           std::size_t max_updates) {
+  SPAR_CHECK(max_updates > 0, "update_stream: max_updates must be positive");
+  const std::size_t k = std::min(max_updates, updates_->size() - cursor_);
+  out.clear();
+  out.num_vertices = updates_->num_vertices;
+  if (k == 0) return 0;
+  out.append(*updates_, cursor_, cursor_ + k);
+  cursor_ += k;
+  out.validate();
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// Text format
+
+void write_updates(std::ostream& out, const UpdateBatch& updates) {
+  out << updates.num_vertices << ' ' << updates.size() << '\n';
+  char buf[64];
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (updates.op[i] == static_cast<std::uint8_t>(UpdateOp::kInsert)) {
+      const int len = std::snprintf(buf, sizeof(buf), "+ %u %u %.17g\n",
+                                    updates.u[i], updates.v[i], updates.w[i]);
+      out.write(buf, len);
+    } else {
+      const int len =
+          std::snprintf(buf, sizeof(buf), "- %u %u\n", updates.u[i], updates.v[i]);
+      out.write(buf, len);
+    }
+  }
+  SPAR_CHECK(out.good(), "write_updates: stream write failed");
+}
+
+struct TextUpdateStream::Impl {
+  std::ifstream in;
+  std::string path;
+  Vertex n = 0;
+  std::size_t c = 0;
+  std::size_t served = 0;
+  std::size_t line = 0;  ///< 1-based line number of the last line read
+  std::string buf;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw spar::Error("read_updates: " + path + ":" + std::to_string(line) +
+                      ": " + what);
+  }
+
+  /// Next non-comment, non-blank line; false on clean EOF.
+  bool next_line() {
+    while (std::getline(in, buf)) {
+      ++line;
+      std::size_t at = buf.find_first_not_of(" \t\r");
+      if (at == std::string::npos || buf[at] == '#') continue;
+      return true;
+    }
+    SPAR_CHECK(!in.bad(), "read_updates: read failed for " + path);
+    return false;
+  }
+
+  /// from_chars wrapper with the stream's line diagnostics.
+  template <typename T>
+  const char* parse_token(const char* p, const char* end, T& out,
+                          const char* what) const {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+    const auto [next, ec] = std::from_chars(p, end, out);
+    if (ec != std::errc() || next == p) fail(std::string("malformed ") + what);
+    return next;
+  }
+};
+
+TextUpdateStream::TextUpdateStream(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& s = *impl_;
+  s.path = path;
+  s.in.open(path);
+  SPAR_CHECK(s.in.good(), "read_updates: cannot open " + path);
+  SPAR_CHECK(s.next_line(), "read_updates: " + path + ": missing header line");
+  const char* p = s.buf.data();
+  const char* end = p + s.buf.size();
+  std::uint64_t n = 0, c = 0;
+  p = s.parse_token(p, end, n, "vertex count");
+  p = s.parse_token(p, end, c, "update count");
+  if (n > std::numeric_limits<Vertex>::max())
+    s.fail("vertex count exceeds 32-bit vertex ids");
+  if (c > kMaxUpdates) s.fail("implausible update count");
+  s.n = static_cast<Vertex>(n);
+  s.c = static_cast<std::size_t>(c);
+}
+
+TextUpdateStream::~TextUpdateStream() = default;
+
+Vertex TextUpdateStream::num_vertices() const { return impl_->n; }
+std::size_t TextUpdateStream::num_updates() const { return impl_->c; }
+
+std::size_t TextUpdateStream::next_batch(UpdateBatch& out, std::size_t max_updates) {
+  SPAR_CHECK(max_updates > 0, "update_stream: max_updates must be positive");
+  Impl& s = *impl_;
+  out.clear();
+  out.num_vertices = s.n;
+  const std::size_t k = std::min(max_updates, s.c - s.served);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!s.next_line())
+      s.fail("truncated body: " + std::to_string(s.c) + " updates declared, " +
+             std::to_string(s.served) + " present");
+    const char* p = s.buf.data();
+    const char* end = p + s.buf.size();
+    while (p < end && (*p == ' ' || *p == '\t')) ++p;
+    if (p == end || (*p != '+' && *p != '-'))
+      s.fail("update line must start with '+' or '-'");
+    const bool is_delete = *p == '-';
+    ++p;
+    Vertex a = 0, b = 0;
+    double weight = 0.0;
+    p = s.parse_token(p, end, a, "endpoint");
+    p = s.parse_token(p, end, b, "endpoint");
+    if (!is_delete) p = s.parse_token(p, end, weight, "weight");
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+    if (p != end) s.fail("trailing characters after update");
+    if (is_delete)
+      out.push_delete(a, b);
+    else
+      out.push_insert(a, b, weight);
+    ++s.served;
+  }
+  if (s.served == s.c && s.next_line()) s.fail("trailing updates beyond header count");
+  if (k > 0) out.validate();
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// SPARDYN binary format
+
+std::size_t update_file_size(std::size_t c) {
+  return sizeof(UpdateHeader) + c * kBytesPerUpdate;
+}
+
+namespace {
+
+void write_binary_updates(std::ostream& out, const UpdateBatch& b) {
+  b.validate();
+  UpdateHeader h = {};
+  std::memcpy(h.magic, kUpdateMagic, sizeof(h.magic));
+  h.version = kUpdateVersion;
+  h.flags = 0;
+  h.n = b.num_vertices;
+  h.c = b.size();
+  h.checksum = payload_checksum(b);
+  write_raw(out, &h, sizeof(h));
+  write_raw(out, b.u.data(), b.size() * sizeof(Vertex));
+  write_raw(out, b.v.data(), b.size() * sizeof(Vertex));
+  write_raw(out, b.w.data(), b.size() * sizeof(double));
+  write_raw(out, b.op.data(), b.size() * sizeof(std::uint8_t));
+}
+
+}  // namespace
+
+void save_updates(const std::string& path, const UpdateBatch& updates) {
+  const bool text = path.size() >= 4 && path.compare(path.size() - 4, 4, ".txt") == 0;
+  if (text) {
+    updates.validate();
+    std::ofstream out(path, std::ios::trunc);
+    SPAR_CHECK(out.good(), "save_updates: cannot open " + path);
+    write_updates(out, updates);
+  } else {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    SPAR_CHECK(out.good(), "save_updates: cannot open " + path);
+    write_binary_updates(out, updates);
+  }
+}
+
+struct BinaryUpdateStream::Impl {
+  std::ifstream in;
+  UpdateHeader h = {};
+  std::size_t cursor = 0;
+  std::uint64_t u_off = 0, v_off = 0, w_off = 0, op_off = 0;
+  framing::ChunkedHasher hash_u, hash_v, hash_w, hash_op;
+  bool verified = false;
+
+  std::uint64_t fold_checksum() {
+    std::uint64_t x = support::mix64(h.n, h.c);
+    x = hash_u.fold(x);
+    x = hash_v.fold(x);
+    x = hash_w.fold(x);
+    x = hash_op.fold(x);
+    return x;
+  }
+};
+
+BinaryUpdateStream::BinaryUpdateStream(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& s = *impl_;
+  s.in.open(path, std::ios::binary);
+  SPAR_CHECK(s.in.good(), "read_updates: cannot open " + path);
+  s.h = read_checked_header(s.in);
+  check_payload_length(s.in, s.in.tellg(), s.h.c * kBytesPerUpdate);
+  s.u_off = sizeof(UpdateHeader);
+  s.v_off = s.u_off + s.h.c * sizeof(Vertex);
+  s.w_off = s.v_off + s.h.c * sizeof(Vertex);
+  s.op_off = s.w_off + s.h.c * sizeof(double);
+  s.hash_u.init(s.h.c * sizeof(Vertex));
+  s.hash_v.init(s.h.c * sizeof(Vertex));
+  s.hash_w.init(s.h.c * sizeof(double));
+  s.hash_op.init(s.h.c * sizeof(std::uint8_t));
+  if (s.h.c == 0) {
+    SPAR_CHECK(s.fold_checksum() == s.h.checksum,
+               "read_updates: checksum mismatch (corrupt payload)");
+    s.verified = true;
+  }
+}
+
+BinaryUpdateStream::~BinaryUpdateStream() = default;
+
+Vertex BinaryUpdateStream::num_vertices() const {
+  return static_cast<Vertex>(impl_->h.n);
+}
+std::size_t BinaryUpdateStream::num_updates() const {
+  return static_cast<std::size_t>(impl_->h.c);
+}
+
+std::size_t BinaryUpdateStream::next_batch(UpdateBatch& out,
+                                           std::size_t max_updates) {
+  SPAR_CHECK(max_updates > 0, "update_stream: max_updates must be positive");
+  Impl& s = *impl_;
+  out.clear();
+  out.num_vertices = static_cast<Vertex>(s.h.n);
+  const std::size_t k =
+      std::min(max_updates, static_cast<std::size_t>(s.h.c) - s.cursor);
+  if (k == 0) return 0;
+
+  out.u.resize(k);
+  out.v.resize(k);
+  out.w.resize(k);
+  out.op.resize(k);
+  const auto read_slice = [&](std::uint64_t base, void* dst, std::size_t elem_bytes,
+                              framing::ChunkedHasher& hasher, const char* what) {
+    s.in.seekg(static_cast<std::streamoff>(base + s.cursor * elem_bytes));
+    read_raw(s.in, dst, k * elem_bytes, what);
+    hasher.feed(dst, k * elem_bytes);
+  };
+  read_slice(s.u_off, out.u.data(), sizeof(Vertex), s.hash_u, "u[] payload");
+  read_slice(s.v_off, out.v.data(), sizeof(Vertex), s.hash_v, "v[] payload");
+  read_slice(s.w_off, out.w.data(), sizeof(double), s.hash_w, "w[] payload");
+  read_slice(s.op_off, out.op.data(), sizeof(std::uint8_t), s.hash_op, "op[] payload");
+  s.cursor += k;
+
+  if (s.cursor == static_cast<std::size_t>(s.h.c) && !s.verified) {
+    SPAR_CHECK(s.fold_checksum() == s.h.checksum,
+               "read_updates: checksum mismatch (corrupt payload)");
+    s.verified = true;
+  }
+  out.validate();
+  return k;
+}
+
+bool has_update_magic(std::istream& in) {
+  char buf[sizeof(kUpdateMagic)] = {};
+  const auto pos = in.tellg();
+  in.read(buf, sizeof(buf));
+  const bool ok =
+      in.gcount() == sizeof(buf) && std::memcmp(buf, kUpdateMagic, sizeof(buf)) == 0;
+  in.clear();
+  in.seekg(pos);
+  return ok;
+}
+
+std::unique_ptr<UpdateStream> open_update_stream(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  SPAR_CHECK(probe.good(), "read_updates: cannot open " + path);
+  const bool binary = has_update_magic(probe);
+  probe.close();
+  if (binary) return std::make_unique<BinaryUpdateStream>(path);
+  return std::make_unique<TextUpdateStream>(path);
+}
+
+UpdateBatch load_updates(const std::string& path) {
+  const auto stream = open_update_stream(path);
+  UpdateBatch all, batch;
+  all.num_vertices = stream->num_vertices();
+  while (stream->next_batch(batch, std::size_t{1} << 16) > 0)
+    all.append(batch, 0, batch.size());
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic workloads
+
+UpdateBatch synthesize_updates(const Graph& g, double delete_fraction,
+                               std::uint64_t seed) {
+  SPAR_CHECK(delete_fraction >= 0.0 && delete_fraction <= 1.0,
+             "synthesize_updates: delete_fraction must be in [0, 1]");
+  const Graph simple = g.coalesced();
+  const std::size_t m = simple.num_edges();
+  support::Rng rng(support::mix64(seed, 0xd74a1cULL));
+
+  // Insert order: a seeded Fisher-Yates shuffle of the edge ids.
+  std::vector<std::uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = m; i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+
+  // Delete targets: the first D ids of a second shuffle.
+  const auto deletes = static_cast<std::size_t>(
+      std::llround(delete_fraction * static_cast<double>(m)));
+  std::vector<std::uint32_t> victims(m);
+  std::iota(victims.begin(), victims.end(), 0);
+  for (std::size_t i = m; i > 1; --i)
+    std::swap(victims[i - 1], victims[rng.below(i)]);
+  std::vector<std::uint8_t> is_victim(m, 0);
+  for (std::size_t i = 0; i < deletes; ++i) is_victim[victims[i]] = 1;
+
+  // Interleave: an insert at slot i happens at time i; a victim's delete at
+  // a uniform time in (insert slot, m). Sorting by (time, sequence) yields a
+  // well-mixed, deterministic schedule with every delete after its insert.
+  struct Op {
+    double time;
+    std::uint64_t sequence;
+    std::uint32_t edge;
+    bool is_delete;
+  };
+  std::vector<Op> schedule;
+  schedule.reserve(m + deletes);
+  std::vector<std::size_t> slot_of(m, 0);
+  for (std::size_t i = 0; i < m; ++i) slot_of[order[i]] = i;
+  std::uint64_t sequence = 0;
+  for (std::size_t i = 0; i < m; ++i)
+    schedule.push_back({static_cast<double>(i), sequence++, order[i], false});
+  for (std::size_t e = 0; e < m; ++e) {
+    if (!is_victim[e]) continue;
+    const double insert_time = static_cast<double>(slot_of[e]);
+    schedule.push_back({rng.uniform(insert_time + 0.5, static_cast<double>(m)),
+                        sequence++, static_cast<std::uint32_t>(e), true});
+  }
+  std::sort(schedule.begin(), schedule.end(), [](const Op& a, const Op& b) {
+    return a.time != b.time ? a.time < b.time : a.sequence < b.sequence;
+  });
+
+  UpdateBatch out;
+  out.num_vertices = simple.num_vertices();
+  for (const Op& op : schedule) {
+    const Edge& e = simple.edge(op.edge);
+    if (op.is_delete)
+      out.push_delete(e.u, e.v);
+    else
+      out.push_insert(e.u, e.v, e.w);
+  }
+  return out;
+}
+
+}  // namespace spar::graph

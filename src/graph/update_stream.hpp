@@ -1,0 +1,195 @@
+// Mixed insert/delete edge-update streams: the ingest side of fully dynamic
+// graph maintenance (sparsify/dynamic.hpp).
+//
+// An update is (op, u, v, w) with op = insert | delete. The dynamic layer
+// runs a simple-weighted-graph discipline: inserting an edge that is already
+// live, or deleting one that is not, is a diagnosed error -- the linear-
+// sketch literature's turnstile contract (a delete must cancel exactly one
+// prior insert), which is what makes per-batch cancellation exact.
+//
+// Two serialized forms, mirroring the static graph formats:
+//
+//  * Text ("dynamic edge list"):
+//      # optional comments, also between body lines
+//      <num_vertices> <num_updates>
+//      + <u> <v> <w>       insert (0-based endpoints, w > 0 finite)
+//      - <u> <v>           delete
+//
+//  * SPARDYN binary, the SoA mirror of UpdateBatch (all integers
+//    little-endian, weights IEEE-754 binary64):
+//      offset  size  field
+//      0       8     magic  "SPARDYN\0"
+//      8       4     version (currently 1)
+//      12      4     flags   (reserved, must be 0)
+//      16      8     n       number of vertices
+//      24      8     c       number of updates
+//      32      8     checksum over the payload (chunked FNV-1a, seeded with
+//                    mix64(n, c); same discipline as SPARBIN/support::framing)
+//      40      4*c   u[]     endpoints (uint32)
+//      ..      4*c   v[]
+//      ..      8*c   w[]     weights (inserts > 0 finite; deletes exactly 0)
+//      ..      1*c   op[]    0 = insert, 1 = delete
+//
+// Readers validate everything before believing it: header magic/version/
+// flags/counts against the file length (a hostile header fails with a
+// message, never an allocation bomb), every update as it lands (endpoint
+// range, self-loops, weight/op discipline), and the payload checksum --
+// incrementally on the batched path, bit-compatible with the whole-file
+// reader. See tests/graph/test_update_stream.cpp for the hostile-input
+// sweep.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace spar::graph {
+
+inline constexpr char kUpdateMagic[8] = {'S', 'P', 'A', 'R', 'D', 'Y', 'N', '\0'};
+inline constexpr std::uint32_t kUpdateVersion = 1;
+
+/// Update opcodes as stored in SPARDYN's op[] payload.
+enum class UpdateOp : std::uint8_t { kInsert = 0, kDelete = 1 };
+
+/// SoA batch of edge updates (the dynamic counterpart of EdgeArena). Update
+/// i is op[i] of edge {u[i], v[i]}; w[i] is the insert weight (0 for
+/// deletes). Order is the arrival order and is semantically load-bearing:
+/// a delete cancels the latest matching live insert.
+struct UpdateBatch {
+  Vertex num_vertices = 0;
+  std::vector<Vertex> u, v;
+  std::vector<double> w;
+  std::vector<std::uint8_t> op;
+
+  std::size_t size() const { return u.size(); }
+
+  void clear() {
+    u.clear();
+    v.clear();
+    w.clear();
+    op.clear();
+  }
+
+  void push_insert(Vertex a, Vertex b, double weight) {
+    u.push_back(a);
+    v.push_back(b);
+    w.push_back(weight);
+    op.push_back(static_cast<std::uint8_t>(UpdateOp::kInsert));
+  }
+
+  void push_delete(Vertex a, Vertex b) {
+    u.push_back(a);
+    v.push_back(b);
+    w.push_back(0.0);
+    op.push_back(static_cast<std::uint8_t>(UpdateOp::kDelete));
+  }
+
+  /// Append updates [first, last) of `other` (same vertex count required
+  /// unless this batch is empty, in which case it adopts other's).
+  void append(const UpdateBatch& other, std::size_t first, std::size_t last);
+
+  /// Check every update: endpoints < n, no self-loops, op in {0, 1}, insert
+  /// weights finite > 0, delete weights exactly 0. Throws spar::Error naming
+  /// the first offending index.
+  void validate() const;
+};
+
+/// Bounded-memory pull source of update batches, mirroring EdgeStream: the
+/// stream knows its totals up front and serves updates in on-disk order,
+/// `max_updates` at a time, so batch boundaries are a pure function of
+/// (stream, batch size).
+class UpdateStream {
+ public:
+  virtual ~UpdateStream() = default;
+
+  virtual Vertex num_vertices() const = 0;
+  /// Total number of updates this stream will yield.
+  virtual std::size_t num_updates() const = 0;
+  /// Refill `out` with the next min(max_updates, remaining) updates; returns
+  /// the batch size, 0 once exhausted. Updates are validated as they land;
+  /// throws spar::Error on any malformed input.
+  virtual std::size_t next_batch(UpdateBatch& out, std::size_t max_updates) = 0;
+};
+
+/// Serves a resident UpdateBatch in slab order; the in-memory reference the
+/// file streams must agree with.
+class MemoryUpdateStream final : public UpdateStream {
+ public:
+  explicit MemoryUpdateStream(const UpdateBatch& updates) : updates_(&updates) {}
+
+  Vertex num_vertices() const override { return updates_->num_vertices; }
+  std::size_t num_updates() const override { return updates_->size(); }
+  std::size_t next_batch(UpdateBatch& out, std::size_t max_updates) override;
+
+ private:
+  const UpdateBatch* updates_;
+  std::size_t cursor_ = 0;
+};
+
+/// Streams the text format in bounded memory, line at a time, with 1-based
+/// line numbers in every diagnostic.
+class TextUpdateStream final : public UpdateStream {
+ public:
+  explicit TextUpdateStream(const std::string& path);
+  ~TextUpdateStream() override;
+
+  Vertex num_vertices() const override;
+  std::size_t num_updates() const override;
+  std::size_t next_batch(UpdateBatch& out, std::size_t max_updates) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Streams a SPARDYN file in bounded memory: the header is fully validated
+/// up front (magic, version, flags, n/c plausibility, file length vs the
+/// declared update count -- a corrupt header fails before any allocation),
+/// a batch is four seeked slice reads, each batch is validated as it lands,
+/// and the incremental payload checksum is verified at the last batch.
+class BinaryUpdateStream final : public UpdateStream {
+ public:
+  explicit BinaryUpdateStream(const std::string& path);
+  ~BinaryUpdateStream() override;
+
+  Vertex num_vertices() const override;
+  std::size_t num_updates() const override;
+  std::size_t next_batch(UpdateBatch& out, std::size_t max_updates) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Bytes a SPARDYN file with c updates occupies on disk (header + payload).
+std::size_t update_file_size(std::size_t c);
+
+void write_updates(std::ostream& out, const UpdateBatch& updates);
+/// Format by extension: ".txt" text, anything else SPARDYN binary.
+void save_updates(const std::string& path, const UpdateBatch& updates);
+/// Whole-file load through the streaming reader (full validation).
+UpdateBatch load_updates(const std::string& path);
+
+/// Opens `path` as a batched update stream: SPARDYN magic -> binary,
+/// anything else the text format.
+std::unique_ptr<UpdateStream> open_update_stream(const std::string& path);
+
+/// True when the stream starts with the SPARDYN magic; consumes nothing.
+bool has_update_magic(std::istream& in);
+
+/// Deterministic mixed insert/delete workload over `g` (coalesced first, so
+/// inserts are unique): every edge is inserted exactly once in a seeded
+/// shuffled order, and a seeded subset of round(delete_fraction * m) edges
+/// is deleted at a uniformly random point after its insert -- the surviving
+/// multiset is g minus the deleted subset. This is the shared workload
+/// vocabulary of bench_dynamic (E17), the oracle-differential fuzz suite,
+/// and sparsify_tool --make-updates.
+UpdateBatch synthesize_updates(const Graph& g, double delete_fraction,
+                               std::uint64_t seed);
+
+}  // namespace spar::graph

@@ -172,6 +172,13 @@ void StreamSparsifier::ingest(const EdgeView& batch, EdgeArena* owned) {
   SPAR_CHECK(!finished_, "stream_sparsify: push_batch after finish");
   SPAR_CHECK(batch.num_vertices == n_,
              "stream_sparsify: batch vertex count mismatch");
+  // A planned budget is split for exactly planned_batches batches; pushing
+  // more would deepen the tower past depth_planned and silently void the
+  // composed (1 +- eps) guarantee. Overflow is a caller bug, not a rescale.
+  SPAR_CHECK(adaptive_budget_ || report_.batches < opt_.planned_batches,
+             "stream_sparsify: more batches pushed than planned_batches = " +
+                 std::to_string(opt_.planned_batches) +
+                 " (use planned_batches = 0 for unknown-length streams)");
 
   report_.batches += 1;
   report_.metrics.edges_ingested += batch.size;

@@ -1,0 +1,354 @@
+// Edge-update streams: text/SPARDYN round trips, source equivalence across
+// batch sizes, synthesized workload invariants, and the hostile-input sweep
+// (every truncation prefix, random byte flips, absurd header counts -- all
+// diagnosed spar::Error, never a crash or an allocation bomb).
+#include "graph/update_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace spar::graph {
+namespace {
+
+UpdateBatch sample_updates() {
+  UpdateBatch u;
+  u.num_vertices = 6;
+  u.push_insert(0, 1, 1.0);
+  u.push_insert(1, 2, 0.5);
+  u.push_insert(2, 3, 2.25);
+  u.push_delete(1, 2);
+  u.push_insert(3, 4, 1.0 / 3.0);
+  u.push_delete(0, 1);
+  u.push_insert(4, 5, 7.0);
+  return u;
+}
+
+bool same_updates(const UpdateBatch& a, const UpdateBatch& b) {
+  if (a.num_vertices != b.num_vertices || a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a.u[i] != b.u[i] || a.v[i] != b.v[i] || a.op[i] != b.op[i] ||
+        std::memcmp(&a.w[i], &b.w[i], sizeof(double)) != 0)
+      return false;
+  return true;
+}
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + name; }
+
+std::string write_temp(const std::string& bytes, const char* name) {
+  const std::string path = temp_path(name);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return path;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+UpdateBatch drain(UpdateStream& stream, std::size_t max_updates) {
+  UpdateBatch all, batch;
+  all.num_vertices = stream.num_vertices();
+  while (stream.next_batch(batch, max_updates) > 0)
+    all.append(batch, 0, batch.size());
+  return all;
+}
+
+template <typename Fn>
+void expect_error(Fn&& fn, const char* needle) {
+  try {
+    fn();
+    FAIL() << "expected spar::Error containing \"" << needle << "\"";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+// --- round trips and source equivalence ------------------------------------
+
+TEST(UpdateStream, BinaryRoundTripIsBitExact) {
+  const UpdateBatch u = sample_updates();
+  const std::string path = temp_path("updates_rt.spd");
+  save_updates(path, u);
+  EXPECT_EQ(file_bytes(path).size(), update_file_size(u.size()));
+  const UpdateBatch back = load_updates(path);
+  EXPECT_TRUE(same_updates(u, back));
+  std::remove(path.c_str());
+}
+
+TEST(UpdateStream, TextRoundTripIsBitExact) {
+  // %.17g text weights round-trip doubles exactly.
+  const UpdateBatch u = sample_updates();
+  const std::string path = temp_path("updates_rt.txt");
+  save_updates(path, u);
+  const UpdateBatch back = load_updates(path);
+  EXPECT_TRUE(same_updates(u, back));
+  std::remove(path.c_str());
+}
+
+TEST(UpdateStream, AllSourcesAgreeAtEveryBatchSize) {
+  const Graph g = randomize_weights(grid2d(7, 5), 2.0, 3);
+  const UpdateBatch u = synthesize_updates(g, 0.3, 17);
+  const std::string bin = temp_path("updates_eq.spd");
+  const std::string txt = temp_path("updates_eq.txt");
+  save_updates(bin, u);
+  save_updates(txt, u);
+  for (const std::size_t batch :
+       {std::size_t{1}, std::size_t{3}, std::size_t{64}, u.size(), u.size() * 2}) {
+    MemoryUpdateStream mem(u);
+    EXPECT_TRUE(same_updates(drain(mem, batch), u)) << "batch " << batch;
+    const auto from_bin = open_update_stream(bin);
+    EXPECT_EQ(from_bin->num_updates(), u.size());
+    EXPECT_TRUE(same_updates(drain(*from_bin, batch), u)) << "batch " << batch;
+    const auto from_txt = open_update_stream(txt);
+    EXPECT_TRUE(same_updates(drain(*from_txt, batch), u)) << "batch " << batch;
+  }
+  std::remove(bin.c_str());
+  std::remove(txt.c_str());
+}
+
+TEST(UpdateStream, AutodetectionSniffsMagicNotExtension) {
+  const UpdateBatch u = sample_updates();
+  // Binary bytes under a .txt-looking name still open as SPARDYN, text under
+  // a binary-looking name still opens as text: content magic wins.
+  const std::string odd_bin = temp_path("updates_odd.notspd");
+  save_updates(odd_bin, u);
+  EXPECT_TRUE(same_updates(load_updates(odd_bin), u));
+  std::remove(odd_bin.c_str());
+
+  const std::string text_body = "6 1\n+ 0 1 2.5\n";
+  const std::string odd_txt = write_temp(text_body, "updates_odd.spd.like");
+  const UpdateBatch back = load_updates(odd_txt);
+  EXPECT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.w[0], 2.5);
+  std::remove(odd_txt.c_str());
+}
+
+TEST(UpdateStream, TextParserHandlesCommentsAndBlankLines) {
+  const std::string body =
+      "# dynamic edge list\n"
+      "5 3\n"
+      "\n"
+      "+ 0 1 1.5\n"
+      "# interleaved comment\n"
+      "- 0 1\n"
+      "+\t2\t3\t0.25\n";
+  const std::string path = write_temp(body, "updates_comments.txt");
+  const UpdateBatch u = load_updates(path);
+  EXPECT_EQ(u.size(), 3u);
+  EXPECT_EQ(u.op[1], static_cast<std::uint8_t>(UpdateOp::kDelete));
+  EXPECT_EQ(u.w[2], 0.25);
+  std::remove(path.c_str());
+}
+
+TEST(UpdateStream, EmptyStreamRoundTrips) {
+  UpdateBatch u;
+  u.num_vertices = 9;
+  const std::string path = temp_path("updates_empty.spd");
+  save_updates(path, u);
+  const auto stream = open_update_stream(path);
+  EXPECT_EQ(stream->num_vertices(), 9u);
+  EXPECT_EQ(stream->num_updates(), 0u);
+  UpdateBatch out;
+  EXPECT_EQ(stream->next_batch(out, 16), 0u);
+  std::remove(path.c_str());
+}
+
+// --- synthesized workloads --------------------------------------------------
+
+TEST(UpdateStream, SynthesizedWorkloadHasTurnstileShape) {
+  const Graph g = randomize_weights(connected_erdos_renyi(60, 0.15, 7), 2.0, 8);
+  const std::size_t m = g.num_edges();
+  const UpdateBatch u = synthesize_updates(g, 0.25, 42);
+  const auto deletes = static_cast<std::size_t>(0.25 * static_cast<double>(m) + 0.5);
+  ASSERT_EQ(u.size(), m + deletes);
+  u.validate();
+
+  // Every edge inserted exactly once; every delete cancels a live insert.
+  std::unordered_map<std::uint64_t, double> live;
+  std::unordered_set<std::uint64_t> inserted;
+  const auto key = [](Vertex a, Vertex b) {
+    return (static_cast<std::uint64_t>(a < b ? a : b) << 32) | (a < b ? b : a);
+  };
+  std::size_t del_count = 0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const std::uint64_t k = key(u.u[i], u.v[i]);
+    if (u.op[i] == static_cast<std::uint8_t>(UpdateOp::kInsert)) {
+      EXPECT_TRUE(inserted.insert(k).second) << "duplicate insert at " << i;
+      live[k] = u.w[i];
+    } else {
+      EXPECT_EQ(live.erase(k), 1u) << "delete of absent edge at " << i;
+      ++del_count;
+    }
+  }
+  EXPECT_EQ(del_count, deletes);
+  EXPECT_EQ(live.size(), m - deletes);
+
+  // Deterministic: same (graph, fraction, seed) -> same byte-for-byte stream.
+  EXPECT_TRUE(same_updates(u, synthesize_updates(g, 0.25, 42)));
+  // Seed changes the interleaving.
+  EXPECT_FALSE(same_updates(u, synthesize_updates(g, 0.25, 43)));
+}
+
+TEST(UpdateStream, SynthesizedFractionEndpoints) {
+  const Graph g = grid2d(5, 5);
+  const UpdateBatch none = synthesize_updates(g, 0.0, 1);
+  EXPECT_EQ(none.size(), g.num_edges());
+  const UpdateBatch all = synthesize_updates(g, 1.0, 1);
+  EXPECT_EQ(all.size(), 2 * g.num_edges());
+  EXPECT_THROW(synthesize_updates(g, -0.1, 1), Error);
+  EXPECT_THROW(synthesize_updates(g, 1.5, 1), Error);
+}
+
+// --- validation -------------------------------------------------------------
+
+TEST(UpdateStream, ValidateDiagnosesEveryDiscipline) {
+  const auto with = [](auto&& mutate) {
+    UpdateBatch u;
+    u.num_vertices = 4;
+    u.push_insert(0, 1, 1.0);
+    mutate(u);
+    return u;
+  };
+  expect_error([&] { with([](UpdateBatch& u) { u.u[0] = 9; }).validate(); },
+               "out of range");
+  expect_error([&] { with([](UpdateBatch& u) { u.v[0] = 0; }).validate(); },
+               "self-loop");
+  expect_error([&] { with([](UpdateBatch& u) { u.w[0] = -2.0; }).validate(); },
+               "positive");
+  expect_error([&] { with([](UpdateBatch& u) { u.w[0] = 0.0; }).validate(); },
+               "positive");
+  expect_error([&] { with([](UpdateBatch& u) { u.op[0] = 7; }).validate(); },
+               "opcode");
+  expect_error(
+      [&] {
+        with([](UpdateBatch& u) {
+          u.push_delete(2, 3);
+          u.w[1] = 1.0;  // delete must carry weight 0
+        }).validate();
+      },
+      "weight 0");
+}
+
+// --- hostile inputs: the SPARDYN reader trusts nothing ----------------------
+
+TEST(UpdateStreamFuzz, EveryTruncationLengthRejected) {
+  const UpdateBatch u = synthesize_updates(grid2d(4, 3), 0.4, 5);
+  const std::string path = temp_path("updates_trunc.spd");
+  save_updates(path, u);
+  const std::string bytes = file_bytes(path);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::string cut = write_temp(bytes.substr(0, len), "updates_cut.spd");
+    EXPECT_THROW(load_updates(cut), Error) << "prefix " << len;
+    std::remove(cut.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(UpdateStreamFuzz, EverySingleByteCorruptionRejected) {
+  // No don't-care bytes: header fields are all checked, the payload is
+  // checksummed, so every flip must throw -- at any read batch size, since
+  // the chunked checksum folds identically.
+  const UpdateBatch u = synthesize_updates(randomize_weights(grid2d(5, 4), 2.0, 3),
+                                           0.3, 11);
+  const std::string path = temp_path("updates_flip.spd");
+  save_updates(path, u);
+  const std::string bytes = file_bytes(path);
+  support::Rng rng(99);
+  for (std::size_t trial = 0; trial < 200; ++trial) {
+    std::string corrupt = bytes;
+    const auto at = static_cast<std::size_t>(rng.below(corrupt.size()));
+    const auto flip = static_cast<char>(1 + rng.below(255));  // guaranteed change
+    corrupt[at] = static_cast<char>(corrupt[at] ^ flip);
+    const std::string bad = write_temp(corrupt, "updates_flip_bad.spd");
+    const std::size_t batch = trial % 2 == 0 ? 7 : u.size() + 8;
+    EXPECT_THROW(
+        {
+          const auto stream = open_update_stream(bad);
+          // A flipped magic byte demotes the file to the text parser, which
+          // must also reject the binary soup; either way: spar::Error.
+          UpdateBatch out;
+          while (stream->next_batch(out, batch) > 0) {
+          }
+        },
+        Error)
+        << "byte " << at << " trial " << trial;
+    std::remove(bad.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(UpdateStreamFuzz, AbsurdHeaderCountsRejectedWithoutAllocating) {
+  // Hostile n / c fields must die on plausibility or length-consistency
+  // checks before any buffer is sized: none of these may become a
+  // multi-terabyte allocation attempt.
+  const std::string path = temp_path("updates_hostile.spd");
+  save_updates(path, sample_updates());
+  const std::string bytes = file_bytes(path);
+  std::remove(path.c_str());
+  const auto patched = [&](std::size_t offset, std::uint64_t value) {
+    std::string out = bytes;
+    std::memcpy(out.data() + offset, &value, sizeof(value));
+    return write_temp(out, "updates_patched.spd");
+  };
+  const auto expect_patch_error = [&](std::size_t offset, std::uint64_t value,
+                                      const char* needle) {
+    const std::string bad = patched(offset, value);
+    expect_error([&] { BinaryUpdateStream stream(bad); }, needle);
+    std::remove(bad.c_str());
+  };
+  expect_patch_error(16, std::uint64_t{1} << 40, "32-bit");       // n
+  expect_patch_error(24, std::uint64_t{1} << 50, "implausible");  // c, cap
+  expect_patch_error(24, ~std::uint64_t{0}, "implausible");
+  expect_patch_error(24, std::uint64_t{1} << 36, "length");  // plausible c, wrong len
+  expect_patch_error(24, 0, "length");                       // c = 0, payload present
+  expect_patch_error(8, 99, "version");                      // unsupported version
+  expect_patch_error(12, 1, "flags");                        // reserved flags
+}
+
+TEST(UpdateStreamFuzz, TextMalformationsDiagnosedWithLineNumbers) {
+  const auto reject = [&](const std::string& body, const char* needle) {
+    const std::string path = write_temp(body, "updates_badtext.txt");
+    expect_error([&] { load_updates(path); }, needle);
+    std::remove(path.c_str());
+  };
+  reject("", "header");
+  reject("4\n", "update count");
+  reject("x 4\n", "vertex count");
+  reject("4 1\n* 0 1 1.0\n", "'+' or '-'");
+  reject("4 1\n+ 0 1\n", "weight");          // insert missing weight
+  reject("4 1\n- 0 1 1.0\n", "trailing");    // delete with weight
+  reject("4 1\n+ 0 x 1.0\n", "endpoint");
+  reject("4 2\n+ 0 1 1.0\n", "truncated");   // fewer updates than declared
+  reject("4 1\n+ 0 1 1.0\n+ 1 2 1.0\n", "beyond header count");
+  reject("4 1\n+ 0 9 1.0\n", "out of range");
+  reject("99999999999 1\n+ 0 1 1.0\n", "32-bit");
+  reject("4 99999999999999999\n", "implausible");
+}
+
+TEST(UpdateStreamFuzz, RandomGarbageRejected) {
+  support::Rng rng(1234);
+  for (std::size_t trial = 0; trial < 60; ++trial) {
+    std::string junk(static_cast<std::size_t>(rng.below(2048)), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.below(256));
+    const std::string path = write_temp(junk, "updates_junk.bin");
+    EXPECT_THROW(load_updates(path), Error) << "trial " << trial;
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace spar::graph

@@ -277,6 +277,49 @@ TEST(StreamSparsify, BarePushAdaptiveBudgetStaysInsideEpsilon) {
   EXPECT_LT(bounds.upper, 1.0 + opt.epsilon);
 }
 
+TEST(StreamSparsify, RejectsBatchesBeyondThePlannedBudget) {
+  // A planned eps budget is split for exactly planned_batches batches;
+  // ingest() used to accept any number of extra pushes, silently deepening
+  // the tower past depth_planned and voiding the composed (1 +- eps) bound.
+  const Graph g = graph::randomize_weights(graph::complete_graph(60), 0.5, 29);
+  EdgeArena arena(g);
+  const graph::EdgeView view = arena.view();
+  StreamOptions opt = base_options(200);
+  opt.planned_batches = 2;
+  StreamSparsifier tower(g.num_vertices(), opt);
+  tower.push_batch(view.slab(0, 200));
+  tower.push_batch(view.slab(200, 400));
+  EXPECT_THROW(tower.push_batch(view.slab(400, 600)), spar::Error);
+  // The overflow must not corrupt the tower: the planned batches still
+  // finish with a sound budget.
+  const StreamResult r = tower.finish();
+  EXPECT_EQ(r.report.batches, 2u);
+  EXPECT_LE(r.report.depth_used, r.report.depth_planned);
+  EXPECT_LE(r.report.epsilon_budget_used, opt.epsilon + 1e-12);
+}
+
+TEST(StreamSparsify, ExactPlanKeepsDepthAndBudgetSound) {
+  // Pushing exactly planned_batches batches (the boundary the overflow check
+  // guards) must keep depth_used <= depth_planned and the eps back-fill
+  // inside the end-to-end budget, including when the resident cap forces
+  // collapse passes.
+  const Graph g = graph::randomize_weights(graph::complete_graph(80), 0.5, 31);
+  EdgeArena arena(g);
+  const graph::EdgeView view = arena.view();
+  for (const std::size_t cap : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    StreamOptions opt = base_options(250, 13);
+    opt.planned_batches = (view.size + 249) / 250;
+    opt.max_resident_levels = cap;
+    StreamSparsifier tower(g.num_vertices(), opt);
+    for (std::size_t at = 0; at < view.size; at += 250)
+      tower.push_batch(view.slab(at, std::min(view.size, at + 250)));
+    const StreamResult r = tower.finish();
+    EXPECT_EQ(r.report.batches, opt.planned_batches) << "cap " << cap;
+    EXPECT_LE(r.report.depth_used, r.report.depth_planned) << "cap " << cap;
+    EXPECT_LE(r.report.epsilon_budget_used, opt.epsilon + 1e-12) << "cap " << cap;
+  }
+}
+
 TEST(StreamSparsify, RejectsBadOptions) {
   StreamOptions opt;
   opt.epsilon = 0.0;
