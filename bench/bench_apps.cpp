@@ -1,0 +1,259 @@
+// E18: application layer riding the solver -- spectral partitioning and
+// PageRank determinism across thread counts, plus sparsifier quality-on-task.
+//
+// Table E18a runs the partition and PageRank apps on grid and er instances at
+// threads 1/2/4 and fingerprints the sign-fixed Fiedler vector and the
+// PageRank scores (FNV over raw double bytes). The binary exits nonzero if
+// any hash differs across thread counts (the bit-identity contract), if the
+// convenience entry point and the caller-owned resident-chain overload
+// disagree bitwise (chain-reuse identity), or if the Fiedler value on a small
+// instance strays from the dense symmetric_eigenvalues oracle.
+//
+// Table E18b sparsifies dense instances at eps in {0.3, 0.5} (static
+// parallel_sparsify and a DynamicSparsifier checkpoint after a turnstile
+// insert+delete stream) and reports what the apps see: conductance on G vs H
+// and cross (H's cut priced on G), PageRank rank correlation / top-k overlap,
+// and the effective-resistance ratio window. Self-check: the same-cut
+// conductance ratio and the resistance ratios must lie inside the pencil
+// bounds implied by the measured certified epsilon.
+//
+//   ./bench_apps [--quick=1] [--seed=N] [--threads=1,2,4]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/pagerank.hpp"
+#include "apps/partition.hpp"
+#include "apps/task_quality.hpp"
+#include "bench/common.hpp"
+#include "graph/update_stream.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/laplacian.hpp"
+#include "sparsify/dynamic.hpp"
+#include "sparsify/sparsify.hpp"
+#include "support/parallel.hpp"
+
+using namespace spar;
+
+namespace {
+
+// FNV-1a over raw double bytes: bit-identical vectors -- and only those --
+// hash alike (same scheme as bench_dynamic's edge hash).
+std::uint64_t vector_hash(std::span<const double> v) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const double x : v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &x, sizeof(bits));
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (bits >> shift) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t h) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Options opt(argc, argv);
+  const bool quick = opt.get_bool("quick", false);
+  const std::uint64_t seed = opt.get_int("seed", 29);
+
+  std::vector<int> threads = {1, 2, 4};
+  if (opt.has("threads")) {
+    threads.clear();
+    const std::string s = opt.get("threads", "");
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      const std::size_t next = s.find(',', pos);
+      threads.push_back(support::parse_number<int>(
+          "--threads", s.substr(pos, next == std::string::npos ? next : next - pos)));
+      if (next == std::string::npos) break;
+      pos = next + 1;
+    }
+  }
+
+  bool ok = true;
+
+  // ---- E18a: determinism of the apps across thread counts ----------------
+  struct Case {
+    std::string family;
+    graph::Vertex n;
+  };
+  std::vector<Case> cases = {{"grid", 25600}, {"er", 16384}};
+  if (quick) cases = {{"grid", 1024}, {"er", 1024}};
+
+  apps::FiedlerOptions fopt;
+  fopt.seed = seed;
+  apps::PageRankOptions popt;
+
+  support::Table table({"family", "n", "m", "threads", "lambda2", "phi", "fi it",
+                        "pr it", "part ms", "pr ms", "fiedler hash", "pr hash"});
+  for (const auto& c : cases) {
+    const graph::Graph g = bench::make_family(c.family, c.n, seed);
+    std::uint64_t ref_fiedler = 0, ref_pr = 0;
+    for (const int t : threads) {
+      support::par::ThreadLimit limit(t);
+      support::Timer part_timer;
+      const apps::PartitionReport part = apps::spectral_partition(g, fopt);
+      const double part_ms = part_timer.millis();
+      support::Timer pr_timer;
+      const apps::PageRankReport pr = apps::pagerank(g, popt);
+      const double pr_ms = pr_timer.millis();
+      // PageRank always converges (l1 contraction). The Fiedler residual gate
+      // applies to the grid only: on the er expander lambda_2/lambda_3 ~ 1,
+      // so inverse-power convergence is inherently slow there and the
+      // iteration-capped vector is still the determinism fixture.
+      ok = ok && pr.converged && (c.family != "grid" || part.fiedler.converged);
+
+      const std::uint64_t fh = vector_hash(part.fiedler.vector);
+      const std::uint64_t ph = vector_hash(pr.scores);
+      if (t == threads.front()) {
+        ref_fiedler = fh;
+        ref_pr = ph;
+      }
+      // The whole point of the table: any drift across thread counts fails.
+      ok = ok && fh == ref_fiedler && ph == ref_pr;
+
+      table.add_row({c.family, std::to_string(c.n), std::to_string(g.num_edges()),
+                     std::to_string(t), support::Table::cell(part.fiedler.value),
+                     support::Table::cell(part.cut.conductance),
+                     std::to_string(part.fiedler.iterations),
+                     std::to_string(pr.iterations), support::Table::cell(part_ms),
+                     support::Table::cell(pr_ms), hex64(fh), hex64(ph)});
+    }
+  }
+  table.print("E18a: partition + PageRank at 1/2/4 threads (hashes must match "
+              "per family -- bit-identity contract)");
+
+  // Chain-reuse identity: the convenience entry point (fresh chain inside)
+  // and the caller-owned resident chain must agree bit for bit.
+  {
+    const graph::Graph g = bench::make_family("grid", quick ? 576 : 4096, seed);
+    const apps::FiedlerReport fresh = apps::fiedler_vector(g, fopt);
+    const solver::SDDMatrix m{graph::Graph(g)};
+    const solver::InverseChain chain(m, fopt.solve.chain);
+    const apps::FiedlerReport resident = apps::fiedler_vector(m, chain, fopt);
+    const bool same =
+        fresh.vector.size() == resident.vector.size() &&
+        std::memcmp(fresh.vector.data(), resident.vector.data(),
+                    fresh.vector.size() * sizeof(double)) == 0 &&
+        fresh.value == resident.value && fresh.iterations == resident.iterations;
+    ok = ok && same;
+    std::printf("\nchain-reuse identity (fresh vs resident chain): %s\n",
+                same ? "bitwise equal" : "MISMATCH");
+  }
+
+  // Dense oracle: lambda_2 against symmetric_eigenvalues on a small grid.
+  {
+    const graph::Graph g = bench::make_family("grid", 144, seed);
+    const apps::FiedlerReport fr = apps::fiedler_vector(g, fopt);
+    const linalg::Vector eig = linalg::symmetric_eigenvalues(
+        linalg::DenseMatrix::from_csr(linalg::laplacian_matrix(g)));
+    const double exact = eig[1];
+    const double rel = std::abs(fr.value - exact) / exact;
+    ok = ok && rel < 1e-6;
+    std::printf("dense oracle (12x12 grid): lambda2 %.12e vs exact %.12e "
+                "(rel err %.2e)%s\n",
+                fr.value, exact, rel, rel < 1e-6 ? "" : "  FAILED");
+  }
+
+  // ---- E18b: sparsifier quality-on-task ----------------------------------
+  const graph::Vertex qn = quick ? 200 : 400;
+  const graph::Graph qg = bench::make_family("complete", qn, seed);
+  apps::TaskQualityOptions qopt;
+  qopt.fiedler.seed = seed;
+  qopt.resistance_pairs = quick ? 4 : 8;
+  qopt.seed = seed;
+
+  support::Table qtable({"mode", "eps", "claimed", "measured", "m out", "phi G",
+                         "phi H", "cross", "spearman", "top-k", "R min", "R max",
+                         "ms"});
+  for (const double eps : {0.3, 0.5}) {
+    for (const bool dynamic : {false, true}) {
+      graph::Graph sparse;
+      graph::Graph base = qg;
+      double claimed = 0.0;
+      if (!dynamic) {
+        sparsify::SparsifyOptions sopt;
+        sopt.epsilon = eps;
+        sopt.rho = 8.0;
+        sopt.t = 1;
+        sopt.seed = seed;
+        sparse = sparsify::parallel_sparsify(qg, sopt).sparsifier;
+        claimed = eps;
+      } else {
+        // Turnstile stream: every edge inserted, 15% deleted later; the
+        // checkpoint serves the sparsifier of the SURVIVING graph, so the
+        // evaluation below runs against the live graph, not qg.
+        const graph::UpdateBatch updates = graph::synthesize_updates(qg, 0.15, seed);
+        sparsify::DynamicOptions dopt;
+        dopt.epsilon = eps;
+        dopt.seed = seed;
+        sparsify::DynamicSparsifier dsp(qg.num_vertices(), dopt);
+        dsp.apply(updates);
+        sparsify::DynCheckpoint cp = dsp.checkpoint();
+        sparse = std::move(cp.sparsifier);
+        claimed = cp.certified_epsilon;
+        base = dsp.live_graph();
+      }
+      // The window below uses the MEASURED pencil epsilon, not the claimed
+      // budget: on dynamic checkpoints the analytic certified_epsilon can
+      // undershoot the exact pencil (see DESIGN.md section 10) and a window
+      // built from it would be unsound.
+      const double certified = bench::certify(base, sparse, seed).epsilon();
+
+      support::Timer timer;
+      const apps::TaskQualityReport tq = apps::evaluate_on_tasks(base, sparse, qopt);
+      const double ms = timer.millis();
+
+      // Pencil-implied windows, checked when the certificate is meaningful:
+      // same-cut conductance ratio in [(1-e)/(1+e), (1+e)/(1-e)], resistance
+      // ratios in [1/(1+e), 1/(1-e)] (5% solve slack).
+      if (certified > 0.0 && certified < 0.9) {
+        const double e = certified;
+        const double lo = (1.0 - e) / (1.0 + e) / 1.05;
+        const double hi = (1.0 + e) / (1.0 - e) * 1.05;
+        const double same_cut = tq.conductance_h / tq.cross_conductance;
+        ok = ok && same_cut >= lo && same_cut <= hi;
+        ok = ok && tq.min_resistance_ratio >= 1.0 / (1.0 + e) / 1.05 &&
+             tq.max_resistance_ratio <= 1.0 / (1.0 - e) * 1.05;
+      }
+
+      qtable.add_row({dynamic ? "dynamic" : "static", support::Table::cell(eps),
+                      support::Table::cell(claimed),
+                      support::Table::cell(certified),
+                      std::to_string(sparse.num_edges()),
+                      support::Table::cell(tq.conductance_g),
+                      support::Table::cell(tq.conductance_h),
+                      support::Table::cell(tq.cross_conductance),
+                      support::Table::cell(tq.spearman),
+                      support::Table::cell(tq.top_k_overlap),
+                      support::Table::cell(tq.min_resistance_ratio),
+                      support::Table::cell(tq.max_resistance_ratio),
+                      support::Table::cell(ms)});
+    }
+  }
+  char title[160];
+  std::snprintf(title, sizeof(title),
+                "E18b: quality-on-task, complete n=%u (static parallel_sparsify "
+                "vs dynamic checkpoint)", qn);
+  qtable.print(title);
+
+  if (!ok) {
+    std::fprintf(stderr, "bench_apps: FAILED (hash drift across threads, "
+                         "chain-reuse mismatch, oracle miss, or a task metric "
+                         "outside its pencil window)\n");
+    return 1;
+  }
+  std::printf("\nhashes identical across thread counts; chain-reuse bitwise "
+              "equal; task metrics inside their certified pencil windows.\n");
+  return 0;
+}

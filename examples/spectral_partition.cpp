@@ -1,8 +1,9 @@
 // Spectral partitioning on a sparsifier -- the "Laplacian paradigm"
 // application from the paper's introduction: dense instances are transformed
 // into nearly-equivalent sparse ones, and the downstream spectral computation
-// (here: the Fiedler vector, by inverse power iteration with our CG) runs on
-// the sparsifier at a fraction of the cost while finding the same cut.
+// (the Fiedler vector, now via the apps-layer block inverse-power iteration
+// riding the chain-preconditioned solver) runs on the sparsifier at a
+// fraction of the cost while finding the same cut.
 //
 // The demo graph is a planted 2-community graph (dense inside, sparse
 // across); we report the communities recovered from the full graph vs the
@@ -12,9 +13,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "apps/partition.hpp"
 #include "graph/generators.hpp"
-#include "linalg/cg.hpp"
-#include "linalg/laplacian.hpp"
 #include "sparsify/sparsify.hpp"
 #include "support/options.hpp"
 #include "support/rng.hpp"
@@ -23,45 +23,6 @@
 using namespace spar;
 
 namespace {
-
-// Approximate Fiedler vector: inverse power iteration on L restricted to
-// 1^perp (each step is one CG solve).
-linalg::Vector fiedler_vector(const graph::Graph& g, std::uint64_t seed,
-                              std::size_t steps = 12) {
-  const std::size_t n = g.num_vertices();
-  const linalg::LaplacianOperator lap(g);
-  const linalg::LinearOperator op{
-      n, [&lap](std::span<const double> x, std::span<double> y) { lap.apply(x, y); }};
-  support::Rng rng(seed);
-  linalg::Vector v(n), next(n);
-  for (double& x : v) x = rng.normal();
-  linalg::remove_mean(v);
-  linalg::scale(1.0 / linalg::norm2(v), v);
-  linalg::CGOptions cg;
-  cg.project_constant = true;
-  cg.tolerance = 1e-6;
-  for (std::size_t step = 0; step < steps; ++step) {
-    linalg::fill(next, 0.0);
-    linalg::conjugate_gradient(op, v, next, cg);
-    linalg::remove_mean(next);
-    const double nrm = linalg::norm2(next);
-    if (nrm == 0.0) break;
-    linalg::scale(1.0 / nrm, next);
-    std::swap(v, next);
-  }
-  return v;
-}
-
-double cut_conductance(const graph::Graph& g, const std::vector<bool>& side) {
-  double cut = 0.0, vol_a = 0.0, vol_b = 0.0;
-  for (const auto& e : g.edges()) {
-    if (side[e.u] != side[e.v]) cut += e.w;
-    (side[e.u] ? vol_a : vol_b) += e.w;
-    (side[e.v] ? vol_a : vol_b) += e.w;
-  }
-  const double denom = std::min(vol_a, vol_b);
-  return denom > 0 ? cut / denom : 1.0;
-}
 
 std::vector<bool> sign_partition(const linalg::Vector& v) {
   std::vector<bool> side(v.size());
@@ -93,8 +54,11 @@ int main(int argc, char** argv) {
   std::printf("planted 2-community graph: n=%u m=%zu\n", g.num_vertices(),
               g.num_edges());
 
+  apps::FiedlerOptions fopt;
+  fopt.seed = seed + 3;
+
   support::Timer t_full;
-  const auto v_full = fiedler_vector(g, seed + 3);
+  const apps::FiedlerReport full = apps::fiedler_vector(g, fopt);
   const double full_ms = t_full.millis();
 
   sparsify::SparsifyOptions sopt;
@@ -103,11 +67,11 @@ int main(int argc, char** argv) {
   sopt.seed = seed + 4;
   support::Timer t_sp;
   const auto sp = sparsify::parallel_sparsify(g, sopt);
-  const auto v_sparse = fiedler_vector(sp.sparsifier, seed + 5);
+  const apps::FiedlerReport sparse = apps::fiedler_vector(sp.sparsifier, fopt);
   const double sparse_ms = t_sp.millis();
 
-  const auto side_full = sign_partition(v_full);
-  const auto side_sparse = sign_partition(v_sparse);
+  const auto side_full = sign_partition(full.vector);
+  const auto side_sparse = sign_partition(sparse.vector);
   std::size_t agree = 0;
   for (std::size_t i = 0; i < side_full.size(); ++i)
     agree += side_full[i] == side_sparse[i];
@@ -121,13 +85,13 @@ int main(int argc, char** argv) {
   const double recovery =
       std::max(correct, g.num_vertices() - correct) / double(g.num_vertices());
 
-  std::printf("full graph:  fiedler cut conductance %.4f  (%.0f ms)\n",
-              cut_conductance(g, side_full), full_ms);
-  std::printf("sparsifier:  m=%zu (%.1fx fewer), cut conductance on FULL graph "
-              "%.4f  (%.0f ms incl. sparsify)\n",
+  std::printf("full graph:  lambda2 %.4e, fiedler cut conductance %.4f  (%.0f ms)\n",
+              full.value, apps::conductance(g, side_full), full_ms);
+  std::printf("sparsifier:  m=%zu (%.1fx fewer), lambda2 %.4e, cut conductance "
+              "on FULL graph %.4f  (%.0f ms incl. sparsify)\n",
               sp.sparsifier.num_edges(),
               double(g.num_edges()) / double(sp.sparsifier.num_edges()),
-              cut_conductance(g, side_sparse), sparse_ms);
+              sparse.value, apps::conductance(g, side_sparse), sparse_ms);
   std::printf("partition agreement full-vs-sparse: %.1f%%; planted community "
               "recovery: %.1f%%\n",
               100.0 * agreement, 100.0 * recovery);

@@ -80,6 +80,20 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # changes with its block size.
 "$build_dir/bench/bench_multi_rhs" --quick=1
 
+# Application-layer smoke: bench_apps exits nonzero if Fiedler/PageRank
+# hashes drift across thread counts, the chain-reuse identity breaks, the
+# dense lambda_2 oracle misses, or a quality-on-task metric falls outside
+# its measured pencil window. The apps_tool leg drives the batch front end
+# end to end and greps the JSON fields the tooling contract promises.
+"$build_dir/bench/bench_apps" --quick=1
+apps_json="$(mktemp /tmp/spar_apps_XXXXXX.json)"
+"$build_dir/examples/apps_tool" gen:grid:12x12 --app=partition,pagerank,quality \
+  --eps=1.0 --pairs=4 --json="$apps_json"
+grep -q '"fiedler_hash"' "$apps_json"
+grep -q '"pagerank_hash"' "$apps_json"
+grep -q '"cross_conductance"' "$apps_json"
+rm -f "$apps_json"
+
 # Solver-service smoke: boot the daemon on a throwaway socket, replay a
 # quick request stream against it (singletons and coalesced batches mixed,
 # every reply memcmp'd against the local per-RHS oracle), then take the

@@ -4,7 +4,8 @@
 #   scripts/check_docs.sh
 #
 # 1. scripts/check_public_docs.py -- fails on any undocumented public symbol
-#    in src/solver and src/resistance (works offline, no doxygen needed).
+#    in src/solver, src/resistance and src/apps (works offline, no doxygen
+#    needed).
 # 2. scripts/check_links.sh -- fails on any broken relative link in the
 #    top-level markdown docs.
 # 3. If doxygen is installed, runs it over the Doxyfile and fails on
@@ -16,7 +17,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-python3 scripts/check_public_docs.py src/solver src/resistance
+python3 scripts/check_public_docs.py src/solver src/resistance src/apps
 scripts/check_links.sh
 
 if command -v doxygen >/dev/null 2>&1; then

@@ -1,0 +1,101 @@
+#include "apps/pagerank.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/laplacian.hpp"
+#include "support/assert.hpp"
+#include "support/parallel.hpp"
+
+namespace spar::apps {
+
+using linalg::Vector;
+
+PageRankReport pagerank(const graph::Graph& g, const PageRankOptions& options) {
+  const std::size_t n = g.num_vertices();
+  SPAR_CHECK(n >= 1, "pagerank: need at least one vertex");
+  SPAR_CHECK(options.damping > 0.0 && options.damping < 1.0,
+             "pagerank: damping must be in (0, 1)");
+  const double d = options.damping;
+
+  // Teleport distribution: uniform, or uniform over the source multiset.
+  Vector teleport(n, 0.0);
+  if (options.sources.empty()) {
+    const double u = 1.0 / static_cast<double>(n);
+    for (double& x : teleport) x = u;
+  } else {
+    const double u = 1.0 / static_cast<double>(options.sources.size());
+    for (const graph::Vertex s : options.sources) {
+      SPAR_CHECK(s < n, "pagerank: source vertex out of range");
+      teleport[s] += u;
+    }
+  }
+
+  const linalg::CSRMatrix a = linalg::adjacency_matrix(g);
+  const Vector deg = linalg::degree_vector(g);
+  const auto size = static_cast<std::int64_t>(n);
+
+  Vector x = teleport;  // start at the teleport distribution
+  Vector walk(n), spmv(n), next(n);
+  PageRankReport report;
+
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    // walk = x / deg on walking vertices; degree-zero mass is collected
+    // separately and re-injected through the teleport below.
+    support::par::parallel_for(0, size, [&](std::int64_t i) {
+      walk[static_cast<std::size_t>(i)] =
+          deg[static_cast<std::size_t>(i)] > 0.0
+              ? x[static_cast<std::size_t>(i)] / deg[static_cast<std::size_t>(i)]
+              : 0.0;
+    });
+    const double dangling = support::par::parallel_reduce(
+        0, size, 0.0,
+        [&](std::int64_t cb, std::int64_t ce) {
+          double acc = 0.0;
+          for (std::int64_t i = cb; i < ce; ++i)
+            if (deg[static_cast<std::size_t>(i)] == 0.0)
+              acc += x[static_cast<std::size_t>(i)];
+          return acc;
+        },
+        std::plus<>());
+    a.multiply(walk, spmv);
+    const double teleport_scale = d * dangling + (1.0 - d);
+    support::par::parallel_for(0, size, [&](std::int64_t i) {
+      const auto u = static_cast<std::size_t>(i);
+      next[u] = d * spmv[u] + teleport_scale * teleport[u];
+    });
+
+    report.delta = support::par::parallel_reduce(
+        0, size, 0.0,
+        [&](std::int64_t cb, std::int64_t ce) {
+          double acc = 0.0;
+          for (std::int64_t i = cb; i < ce; ++i)
+            acc += std::abs(next[static_cast<std::size_t>(i)] -
+                            x[static_cast<std::size_t>(i)]);
+          return acc;
+        },
+        std::plus<>());
+    x.swap(next);
+    report.iterations = iter;
+    if (report.delta <= options.tolerance) {
+      report.converged = true;
+      break;
+    }
+  }
+
+  report.scores = std::move(x);
+  return report;
+}
+
+std::vector<graph::Vertex> ranking(const Vector& scores) {
+  std::vector<graph::Vertex> order(scores.size());
+  std::iota(order.begin(), order.end(), graph::Vertex{0});
+  std::sort(order.begin(), order.end(), [&](graph::Vertex a, graph::Vertex b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace spar::apps

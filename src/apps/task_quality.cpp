@@ -1,0 +1,138 @@
+#include "apps/task_quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/traversal.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace spar::apps {
+
+using linalg::Vector;
+
+namespace {
+
+// Effective resistances of a fixed pair list: one batched solve against the
+// resident chain, R(u, v) = (e_u - e_v)^T L^+ (e_u - e_v) = x[u] - x[v].
+Vector pair_resistances(const solver::SDDMatrix& m, const solver::InverseChain& chain,
+                        const std::vector<std::pair<graph::Vertex, graph::Vertex>>& pairs,
+                        const solver::SolveOptions& options) {
+  std::vector<Vector> rhs(pairs.size(), Vector(m.dimension(), 0.0));
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    rhs[i][pairs[i].first] = 1.0;
+    rhs[i][pairs[i].second] = -1.0;
+  }
+  const solver::MultiSolveReport solve =
+      solver::solve_sdd_multi(m, chain, linalg::MultiVector::from_columns(rhs), options);
+  Vector out(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const Vector x = solve.solutions.column_copy(i);
+    out[i] = x[pairs[i].first] - x[pairs[i].second];
+  }
+  return out;
+}
+
+}  // namespace
+
+TaskQualityReport evaluate_on_tasks(const graph::Graph& g, const graph::Graph& h,
+                                    const TaskQualityOptions& options) {
+  const std::size_t n = g.num_vertices();
+  SPAR_CHECK(h.num_vertices() == n,
+             "evaluate_on_tasks: graphs must share a vertex set");
+  SPAR_CHECK(n >= 2, "evaluate_on_tasks: need at least 2 vertices");
+  SPAR_CHECK(graph::is_connected(graph::CSRGraph(g)),
+             "evaluate_on_tasks: original graph must be connected");
+  SPAR_CHECK(graph::is_connected(graph::CSRGraph(h)),
+             "evaluate_on_tasks: sparsifier must be connected");
+
+  // One resident chain per graph; every solve below (Fiedler iterations and
+  // resistance probes alike) rides the same two chains.
+  const solver::SDDMatrix mg{graph::Graph(g)};
+  const solver::InverseChain chain_g(mg, options.fiedler.solve.chain);
+  const solver::SDDMatrix mh{graph::Graph(h)};
+  const solver::InverseChain chain_h(mh, options.fiedler.solve.chain);
+
+  TaskQualityReport report;
+
+  // Partitioning app.
+  const PartitionReport part_g = spectral_partition(g, mg, chain_g, options.fiedler);
+  const PartitionReport part_h = spectral_partition(h, mh, chain_h, options.fiedler);
+  report.fiedler_value_g = part_g.fiedler.value;
+  report.fiedler_value_h = part_h.fiedler.value;
+  report.conductance_g = part_g.cut.conductance;
+  report.conductance_h = part_h.cut.conductance;
+  report.cross_conductance = conductance(g, part_h.cut.side);
+
+  // PageRank app.
+  const PageRankReport pr_g = pagerank(g, options.pagerank);
+  const PageRankReport pr_h = pagerank(h, options.pagerank);
+  report.spearman = spearman_correlation(pr_g.scores, pr_h.scores);
+  report.top_k_overlap = apps::top_k_overlap(pr_g.scores, pr_h.scores, options.top_k);
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    l1 += std::abs(pr_g.scores[i] - pr_h.scores[i]);
+  report.pagerank_l1_delta = l1;
+
+  // Resistance probes: random pairs, batched through both chains.
+  if (options.resistance_pairs > 0) {
+    std::vector<std::pair<graph::Vertex, graph::Vertex>> pairs;
+    pairs.reserve(options.resistance_pairs);
+    support::Rng rng(support::mix64(options.seed, 0x9a125ULL));
+    while (pairs.size() < options.resistance_pairs) {
+      const auto u = static_cast<graph::Vertex>(rng.below(n));
+      const auto v = static_cast<graph::Vertex>(rng.below(n));
+      if (u != v) pairs.emplace_back(u, v);
+    }
+    const Vector rg = pair_resistances(mg, chain_g, pairs, options.fiedler.solve);
+    const Vector rh = pair_resistances(mh, chain_h, pairs, options.fiedler.solve);
+    report.min_resistance_ratio = std::numeric_limits<double>::infinity();
+    report.max_resistance_ratio = 0.0;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      SPAR_CHECK(rg[i] > 0.0, "evaluate_on_tasks: nonpositive probe resistance");
+      const double ratio = rh[i] / rg[i];
+      report.min_resistance_ratio = std::min(report.min_resistance_ratio, ratio);
+      report.max_resistance_ratio = std::max(report.max_resistance_ratio, ratio);
+    }
+  }
+  return report;
+}
+
+double spearman_correlation(const Vector& a, const Vector& b) {
+  const std::size_t n = a.size();
+  SPAR_CHECK(b.size() == n, "spearman_correlation: size mismatch");
+  SPAR_CHECK(n >= 2, "spearman_correlation: need at least 2 entries");
+  const std::vector<graph::Vertex> order_a = ranking(a);
+  const std::vector<graph::Vertex> order_b = ranking(b);
+  std::vector<std::size_t> rank_a(n), rank_b(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    rank_a[order_a[pos]] = pos;
+    rank_b[order_b[pos]] = pos;
+  }
+  double sum_d2 = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const double d =
+        static_cast<double>(rank_a[v]) - static_cast<double>(rank_b[v]);
+    sum_d2 += d * d;
+  }
+  const double nn = static_cast<double>(n);
+  return 1.0 - 6.0 * sum_d2 / (nn * (nn * nn - 1.0));
+}
+
+double top_k_overlap(const Vector& a, const Vector& b, std::size_t k) {
+  const std::size_t n = a.size();
+  SPAR_CHECK(b.size() == n, "top_k_overlap: size mismatch");
+  SPAR_CHECK(n >= 1 && k >= 1, "top_k_overlap: need nonempty input and k >= 1");
+  k = std::min(k, n);
+  const std::vector<graph::Vertex> order_a = ranking(a);
+  const std::vector<graph::Vertex> order_b = ranking(b);
+  std::vector<bool> in_a(n, false);
+  for (std::size_t pos = 0; pos < k; ++pos) in_a[order_a[pos]] = true;
+  std::size_t hits = 0;
+  for (std::size_t pos = 0; pos < k; ++pos)
+    if (in_a[order_b[pos]]) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+}  // namespace spar::apps

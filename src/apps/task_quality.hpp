@@ -1,0 +1,75 @@
+// Sparsifier quality-on-task: judge a sparsifier by what downstream
+// workloads see, not only by its pencil certificate.
+//
+// Given the original graph G and a sparsifier H (static parallel_sparsify
+// output or a DynamicSparsifier checkpoint), run the application layer on
+// both and report the deltas that matter to each app:
+//  * spectral partitioning -- Fiedler values, the conductance of each graph's
+//    own sweep cut, and the CROSS conductance (H's cut evaluated on G): a
+//    good sparsifier's cut must be a good cut of the original graph;
+//  * PageRank -- Spearman rank correlation, top-k overlap and l1 distance of
+//    the score vectors;
+//  * effective-resistance pair probes -- min/max of R_H(u,v) / R_G(u,v) over
+//    random vertex pairs, the quantity the (1 +- eps) pencil bound directly
+//    controls.
+//
+// One resident InverseChain per graph serves BOTH the Fiedler iterations and
+// the batched resistance probes (the chain-reuse amortization the solver
+// subsystem provides); everything downstream inherits the deterministic
+// chunk-ordered substrate, so the report is bit-identical across thread
+// counts. tests/apps/test_task_quality.cpp turns the conductance and
+// resistance columns into regression bounds against certified epsilons.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/pagerank.hpp"
+#include "apps/partition.hpp"
+
+namespace spar::apps {
+
+/// Knobs of the quality-on-task evaluation.
+struct TaskQualityOptions {
+  FiedlerOptions fiedler;        ///< partitioning app (shared by G and H)
+  PageRankOptions pagerank;      ///< PageRank app (shared by G and H)
+  std::size_t top_k = 10;        ///< overlap window for the PageRank ranking
+  std::size_t resistance_pairs = 8;  ///< random (u, v) probes; 0 disables
+  std::uint64_t seed = 7;        ///< seeds the probe pair sampling
+};
+
+/// Everything evaluate_on_tasks measures. "g" columns come from the original
+/// graph, "h" columns from the sparsifier.
+struct TaskQualityReport {
+  double fiedler_value_g = 0.0;  ///< lambda_2 estimate on G
+  double fiedler_value_h = 0.0;  ///< lambda_2 estimate on H
+  double conductance_g = 0.0;    ///< G's sweep cut evaluated on G
+  double conductance_h = 0.0;    ///< H's sweep cut evaluated on H
+  /// H's sweep-cut side evaluated on G: the number a user of the sparsifier
+  /// actually obtains. Compare against conductance_g.
+  double cross_conductance = 0.0;
+  double spearman = 0.0;         ///< rank correlation of PageRank scores
+  double top_k_overlap = 0.0;    ///< |top-k(G) cap top-k(H)| / k
+  double pagerank_l1_delta = 0.0;///< ||scores_G - scores_H||_1
+  double min_resistance_ratio = 0.0;  ///< min R_H / R_G over probes
+  double max_resistance_ratio = 0.0;  ///< max R_H / R_G over probes
+};
+
+/// Run the application layer on `g` and sparsifier `h` (same vertex set,
+/// both connected) and report the task-level deltas. Builds one resident
+/// chain per graph and reuses it across all solves for that graph.
+TaskQualityReport evaluate_on_tasks(const graph::Graph& g, const graph::Graph& h,
+                                    const TaskQualityOptions& options = {});
+
+/// Spearman rank correlation of two score vectors: scores are converted to
+/// ranks by the canonical `ranking()` order (descending score, ties by
+/// vertex id -- NOT tie-averaged) and the permutation-distance formula
+/// 1 - 6 sum d^2 / (n (n^2 - 1)) is applied. 1.0 for identical rankings;
+/// requires equal sizes >= 2.
+double spearman_correlation(const linalg::Vector& a, const linalg::Vector& b);
+
+/// |top-k(a) cap top-k(b)| / k under the canonical ranking order, with k
+/// clamped to the vector size. Requires equal sizes >= 1.
+double top_k_overlap(const linalg::Vector& a, const linalg::Vector& b,
+                     std::size_t k);
+
+}  // namespace spar::apps

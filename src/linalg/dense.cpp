@@ -303,4 +303,42 @@ DenseMatrix symmetric_pinv(const DenseMatrix& m, double rel_tol) {
   return out;
 }
 
+RayleighRitz rayleigh_ritz(const DenseMatrix& q, const DenseMatrix& aq) {
+  const std::size_t n = q.rows();
+  const std::size_t k = q.cols();
+  SPAR_CHECK(aq.rows() == n && aq.cols() == k,
+             "rayleigh_ritz: basis/image shape mismatch");
+  SPAR_CHECK(k >= 1, "rayleigh_ritz: need at least one basis column");
+
+  // T = q^T aq, symmetrized: with an orthonormal q the exact T is symmetric,
+  // so averaging the two off-diagonal estimates only removes roundoff.
+  DenseMatrix t(k, k);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = i; j < k; ++j) {
+      const double tij = dot(q.column(i), aq.column(j));
+      const double tji = dot(q.column(j), aq.column(i));
+      t.at(i, j) = t.at(j, i) = 0.5 * (tij + tji);
+    }
+  EigenDecomposition eig = symmetric_eigen(t);
+
+  RayleighRitz out;
+  out.values = std::move(eig.eigenvalues);
+  out.basis = DenseMatrix(n, k);
+  // basis = q * Y; rows are independent, each row's inner loop runs in a
+  // fixed order, so the rotation is deterministic for any thread count.
+  support::par::parallel_for(
+      0, static_cast<std::int64_t>(n),
+      [&](std::int64_t r) {
+        const auto row = static_cast<std::size_t>(r);
+        for (std::size_t j = 0; j < k; ++j) {
+          double acc = 0.0;
+          for (std::size_t l = 0; l < k; ++l)
+            acc += q.at(row, l) * eig.eigenvectors.at(l, j);
+          out.basis.at(row, j) = acc;
+        }
+      },
+      {.enable = n * k > (1u << 14)});
+  return out;
+}
+
 }  // namespace spar::linalg

@@ -74,4 +74,21 @@ Vector cholesky_solve(const DenseMatrix& lower, std::span<const double> b);
 /// decomposition; eigenvalues below rel_tol * lambda_max are treated as zero.
 DenseMatrix symmetric_pinv(const DenseMatrix& m, double rel_tol = 1e-10);
 
+/// Outcome of a Rayleigh-Ritz projection (values ascending, column k of
+/// `basis` pairs with values[k]).
+struct RayleighRitz {
+  Vector values;     ///< Ritz values of the projected operator, ascending
+  DenseMatrix basis; ///< n-by-k rotated basis; column k pairs with values[k]
+};
+
+/// Rayleigh-Ritz projection of a symmetric operator A onto the span of the
+/// orthonormal columns of `q` (n-by-k): forms T = q^T (aq) with aq = A q,
+/// symmetrizes it against roundoff, eigendecomposes the small k-by-k system
+/// and returns the Ritz values with the rotated basis q * Y. This is the
+/// dense kernel of block inverse-power iteration (apps/partition.hpp): the
+/// subspace is refined by large solves, the k-by-k projection extracts the
+/// eigenpair estimates. All reductions run through the deterministic
+/// chunk-ordered dot, so the result is bit-identical across thread counts.
+RayleighRitz rayleigh_ritz(const DenseMatrix& q, const DenseMatrix& aq);
+
 }  // namespace spar::linalg

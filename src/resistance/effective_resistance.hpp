@@ -52,6 +52,14 @@ struct ApproxResistanceOptions {
 /// Expected multiplicative error (1 +- eps) per edge w.h.p. The O(log n /
 /// eps^2) probe solves run through the batched blocked-CG path in blocks of
 /// `block_size` columns.
+///
+/// Connectivity is NOT required (unlike the exact_* path): every sketch RHS
+/// is a signed incidence accumulation B^T W^{1/2} q, which is mean-free
+/// within each connected component, so the CG Krylov space stays inside the
+/// per-component range of L and each probe resolves against the
+/// block-diagonal pseudoinverse. Edges of each component get the resistances
+/// of that component in isolation -- no current leaks across components
+/// (pinned by ApproxResistance.DisconnectedGraphResolvesPerComponent).
 linalg::Vector approx_effective_resistances(const graph::Graph& g,
                                             const ApproxResistanceOptions& options = {});
 

@@ -1,0 +1,188 @@
+// Quality-on-task regression (PR 10): a sparsifier's certificate must cash
+// out in what the application layer sees.
+//
+//  1. unit oracles for the rank statistics (spearman_correlation,
+//     top_k_overlap) against closed forms;
+//  2. the self-evaluation fixed point: evaluate_on_tasks(g, g) must report
+//     exact agreement on every column (the two sides run the same
+//     deterministic code on the same chain inputs);
+//  3. the regression proper: for a static parallel_sparsify output and for a
+//     DynamicSparsifier checkpoint, the same-cut conductance ratio and the
+//     effective-resistance probe ratios must sit inside the window implied
+//     by the MEASURED pencil epsilon (exact_relative_bounds -- NOT the
+//     checkpoint's analytic certified_epsilon, which can undershoot the
+//     exact pencil on dynamic towers; see DESIGN.md section 10). The window
+//     is the looser of the exact pencil interval [(1-e)/(1+e), (1+e)/(1-e)]
+//     and the ISSUE's (1 +- 3e) band -- the two coincide at e = 1/3 -- with
+//     5% slack for the iterative solves.
+#include "apps/task_quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/traversal.hpp"
+#include "graph/update_stream.hpp"
+#include "sparsify/dynamic.hpp"
+#include "sparsify/sparsify.hpp"
+#include "sparsify/spectral_cert.hpp"
+#include "support/error.hpp"
+
+namespace spar::apps {
+namespace {
+
+using graph::Graph;
+
+// ---- 1. Rank-statistic unit oracles --------------------------------------
+
+TEST(Spearman, IdenticalScoresGiveOne) {
+  const linalg::Vector a = {0.5, 0.1, 0.9, 0.3};
+  EXPECT_DOUBLE_EQ(spearman_correlation(a, a), 1.0);
+}
+
+TEST(Spearman, ReversedRankingGivesMinusOne) {
+  const linalg::Vector a = {4.0, 3.0, 2.0, 1.0};
+  const linalg::Vector b = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(spearman_correlation(a, b), -1.0);
+}
+
+TEST(Spearman, SingleSwapClosedForm) {
+  // Swapping one adjacent pair: d^2 sums to 2, so rho = 1 - 12/(n(n^2-1)).
+  const linalg::Vector a = {4.0, 3.0, 2.0, 1.0};
+  const linalg::Vector b = {4.0, 2.0, 3.0, 1.0};
+  const double n = 4.0;
+  EXPECT_NEAR(spearman_correlation(a, b), 1.0 - 12.0 / (n * (n * n - 1.0)), 1e-15);
+}
+
+TEST(Spearman, RejectsMismatchedSizes) {
+  const linalg::Vector a = {1.0, 2.0, 3.0};
+  const linalg::Vector b = {1.0, 2.0};
+  EXPECT_THROW(spearman_correlation(a, b), spar::Error);
+}
+
+TEST(TopKOverlap, IdenticalAndDisjoint) {
+  const linalg::Vector a = {9.0, 8.0, 1.0, 2.0};
+  const linalg::Vector b = {1.0, 2.0, 9.0, 8.0};  // top-2 sets are disjoint
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, a, 2), 1.0);
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 2), 0.0);
+  // k clamps to the vector size, where the overlap is total by definition.
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 99), 1.0);
+}
+
+// ---- 2. Self-evaluation fixed point --------------------------------------
+
+TEST(TaskQuality, SelfEvaluationIsExact) {
+  const Graph g = graph::randomize_weights(graph::grid2d(8, 8), 2.0, 3);
+  TaskQualityOptions opt;
+  opt.resistance_pairs = 6;
+  const TaskQualityReport tq = evaluate_on_tasks(g, g, opt);
+  EXPECT_EQ(tq.fiedler_value_g, tq.fiedler_value_h);
+  EXPECT_EQ(tq.conductance_g, tq.conductance_h);
+  EXPECT_EQ(tq.cross_conductance, tq.conductance_g);
+  EXPECT_DOUBLE_EQ(tq.spearman, 1.0);
+  EXPECT_DOUBLE_EQ(tq.top_k_overlap, 1.0);
+  EXPECT_EQ(tq.pagerank_l1_delta, 0.0);
+  EXPECT_EQ(tq.min_resistance_ratio, 1.0);
+  EXPECT_EQ(tq.max_resistance_ratio, 1.0);
+}
+
+TEST(TaskQuality, RejectsMismatchedOrDisconnectedInputs) {
+  const Graph g = graph::grid2d(4, 4);
+  EXPECT_THROW(evaluate_on_tasks(g, graph::grid2d(3, 3)), spar::Error);
+  Graph disc(16);
+  disc.add_edge(0, 1, 1.0);
+  disc.add_edge(2, 3, 1.0);
+  EXPECT_THROW(evaluate_on_tasks(g, disc), spar::Error);
+}
+
+// ---- 3. The regression: task metrics inside the measured pencil window ---
+
+// The looser of the exact pencil interval and the (1 +- 3e) band (they cross
+// at e = 1/3), widened 5% for solver tolerance. Every same-cut conductance
+// and resistance ratio below must land inside.
+struct Window {
+  double lo, hi;
+};
+
+Window pencil_window(double e) {
+  const double lo = std::min((1.0 - e) / (1.0 + e), 1.0 - 3.0 * e) / 1.05;
+  const double hi = std::max((1.0 + e) / (1.0 - e), 1.0 + 3.0 * e) * 1.05;
+  return {lo, hi};
+}
+
+void expect_inside_window(const Graph& base, const Graph& sparse,
+                          const char* mode) {
+  ASSERT_TRUE(graph::is_connected(graph::CSRGraph(sparse))) << mode;
+  // MEASURED pencil epsilon from the exact dense interval -- sound even when
+  // a dynamic checkpoint's analytic certificate undershoots (DESIGN.md
+  // section 10). The fixture sizes keep the dense certifier cheap.
+  const sparsify::ApproxBounds bounds =
+      sparsify::exact_relative_bounds(base, sparse);
+  ASSERT_TRUE(bounds.defined) << mode;
+  const double e = bounds.epsilon();
+  ASSERT_GT(e, 0.0) << mode << ": sparsifier is a no-op, fixture is vacuous";
+  ASSERT_LT(e, 0.9) << mode << ": measured pencil too loose to test against";
+
+  TaskQualityOptions opt;
+  opt.resistance_pairs = 8;
+  const TaskQualityReport tq = evaluate_on_tasks(base, sparse, opt);
+
+  const Window w = pencil_window(e);
+  // H's own cut priced on H vs priced on G: the same-cut conductance ratio
+  // is directly controlled by the pencil.
+  const double same_cut = tq.conductance_h / tq.cross_conductance;
+  EXPECT_GE(same_cut, w.lo) << mode << " e=" << e;
+  EXPECT_LE(same_cut, w.hi) << mode << " e=" << e;
+  // R_H / R_G per probe pair: (1-e) L_G <= L_H <= (1+e) L_G flips to
+  // resistance ratios in [1/(1+e), 1/(1-e)].
+  EXPECT_GE(tq.min_resistance_ratio, 1.0 / (1.0 + e) / 1.05) << mode;
+  EXPECT_LE(tq.max_resistance_ratio, 1.0 / (1.0 - e) * 1.05) << mode;
+  // The Fiedler VALUE obeys the same pencil (eigenvalue interlacing under
+  // the quadratic-form sandwich).
+  const double value_ratio = tq.fiedler_value_h / tq.fiedler_value_g;
+  EXPECT_GE(value_ratio, (1.0 - e) / 1.05) << mode;
+  EXPECT_LE(value_ratio, (1.0 + e) * 1.05) << mode;
+}
+
+TEST(TaskQualityRegression, StaticSparsifier) {
+  const Graph g = graph::complete_graph(150);
+  sparsify::SparsifyOptions sopt;
+  sopt.epsilon = 0.3;
+  sopt.rho = 8.0;
+  sopt.t = 3;
+  sopt.seed = 17;
+  const Graph h = sparsify::parallel_sparsify(g, sopt).sparsifier;
+  ASSERT_LT(h.num_edges(), g.num_edges());
+  expect_inside_window(g, h, "static");
+}
+
+TEST(TaskQualityRegression, DynamicCheckpoint) {
+  // Turnstile stream (every edge inserted, 15% deleted) -> checkpoint; the
+  // checkpoint sparsifies the SURVIVING graph, so the evaluation runs
+  // against live_graph(), not the original.
+  const Graph g = graph::complete_graph(150);
+  const graph::UpdateBatch updates = graph::synthesize_updates(g, 0.15, 17);
+  sparsify::DynamicOptions dopt;
+  dopt.epsilon = 0.3;
+  dopt.rho = 8.0;
+  dopt.t = 3;
+  dopt.seed = 17;
+  sparsify::DynamicSparsifier dsp(g.num_vertices(), dopt);
+  dsp.apply(updates);
+  sparsify::DynCheckpoint cp = dsp.checkpoint();
+  const Graph base = dsp.live_graph();
+  ASSERT_LT(cp.sparsifier.num_edges(), base.num_edges());
+  // The analytic certificate respects the requested budget by construction
+  // -- but the exact pencil may exceed it (the documented latent gap), which
+  // is exactly why expect_inside_window re-measures.
+  EXPECT_LE(cp.certified_epsilon, dopt.epsilon + 1e-12);
+  expect_inside_window(base, cp.sparsifier, "dynamic");
+}
+
+}  // namespace
+}  // namespace spar::apps

@@ -172,6 +172,42 @@ TEST(ApproxResistance, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ApproxResistance, DisconnectedGraphResolvesPerComponent) {
+  // Unlike exact_effective_resistances (which demands connectivity because
+  // the dense pseudoinverse is computed by grounding one global vertex), the
+  // JL estimator is well defined on a disconnected graph: every sketch RHS
+  // is B^T W^{1/2} q, a signed incidence accumulation that is mean-free
+  // WITHIN EACH COMPONENT, so the Krylov space of the CG solve never leaves
+  // the per-component range of L and each probe solves against the
+  // block-diagonal pseudoinverse. Resistances therefore come out as if each
+  // component were sketched alone (the +-1 coins differ -- they are indexed
+  // by global edge ids -- so the estimates agree with the per-component
+  // EXACT values up to JL error, not bitwise). This test pins that contract:
+  // the estimator must not throw, must not leak current between components,
+  // and must match the per-component exact oracle within the JL window.
+  const Graph a = graph::randomize_weights(graph::grid2d(5, 5), 1.0, 2);
+  const Graph b = graph::complete_graph(12);
+  Graph g(a.num_vertices() + b.num_vertices());
+  for (const auto& e : a.edges()) g.add_edge(e.u, e.v, e.w);
+  const graph::Vertex off = a.num_vertices();
+  for (const auto& e : b.edges()) g.add_edge(off + e.u, off + e.v, e.w);
+
+  ApproxResistanceOptions opt;
+  opt.epsilon = 0.25;
+  opt.seed = 21;
+  const auto approx = approx_effective_resistances(g, opt);
+  ASSERT_EQ(approx.size(), g.num_edges());
+
+  const auto exact_a = exact_effective_resistances(a);
+  const auto exact_b = exact_effective_resistances(b);
+  linalg::Vector exact(exact_a);
+  exact.insert(exact.end(), exact_b.begin(), exact_b.end());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_GT(approx[i], exact[i] * (1.0 - 2 * 0.25)) << i;
+    EXPECT_LT(approx[i], exact[i] * (1.0 + 2 * 0.25)) << i;
+  }
+}
+
 TEST(LeverageScores, SizesAndValues) {
   Graph g(3);
   g.add_edge(0, 1, 2.0);
